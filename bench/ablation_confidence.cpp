@@ -1,0 +1,83 @@
+//===- bench/ablation_confidence.cpp - Confidence threshold ablation ------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation of the runtime confidence threshold (DESIGN.md's design-choice
+// index). The threshold trades prediction latency against accuracy: at 0 the
+// model always decides alone (cheapest, least accurate); at 1 every matrix
+// goes through execute-and-measure (most accurate, ~16x CSR-SpMV overhead).
+// The paper fixes one threshold; this bench sweeps it and reports, per
+// setting: end-to-end accuracy vs the measured best format, the fraction of
+// matrices that needed measurement, and the mean tuning overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+
+using namespace smat;
+using namespace smat::bench;
+
+int main() {
+  std::printf("=== Ablation: runtime confidence threshold ===\n\n");
+
+  auto Corpus = buildCorpus(corpusScaleFromEnv());
+  std::vector<const CorpusEntry *> Training, Evaluation;
+  splitCorpus(Corpus, Training, Evaluation);
+
+  // Train on a deliberately small slice of the training set so the ruleset
+  // is imperfect: the interesting regime for the threshold is a model that
+  // sometimes errs, where execute-and-measure buys back accuracy. (With
+  // the full training set the model is near-perfect on this corpus and the
+  // threshold only adds cost.)
+  std::vector<const CorpusEntry *> Slice(
+      Training.begin(),
+      Training.begin() + std::min<std::size_t>(Training.size(), 46));
+  std::fprintf(stderr, "[bench] training a weakened model on %zu matrices\n",
+               Slice.size());
+  TrainResult Weak = trainSmat<double>(Slice, benchTrainingOptions());
+  LearningModel Base = Weak.Model;
+
+  // Ground-truth best formats, measured once.
+  TrainingOptions Measure = benchTrainingOptions();
+  std::vector<FormatKind> Truth;
+  Truth.reserve(Evaluation.size());
+  for (const CorpusEntry *Entry : Evaluation)
+    Truth.push_back(
+        buildRecord<double>(*Entry, Base.Kernels, Measure).BestFormat);
+
+  AsciiTable Table({"threshold", "accuracy", "measured frac",
+                    "mean overhead (xCSR)"});
+  for (double Threshold : {0.0, 0.5, 0.7, 0.8, 0.85, 0.9, 0.95, 0.999}) {
+    LearningModel Model = Base;
+    Model.ConfidenceThreshold = Threshold;
+    const Smat<double> Tuner(Model);
+
+    int Correct = 0, Measured = 0;
+    std::vector<double> Overheads;
+    for (std::size_t I = 0; I != Evaluation.size(); ++I) {
+      TunedSpmv<double> Op = Tuner.tune(Evaluation[I]->Matrix);
+      Correct += Op.format() == Truth[I] ? 1 : 0;
+      Measured += Op.report().MeasuredGflops.empty() ? 0 : 1;
+      Overheads.push_back(Op.report().overheadRatio());
+    }
+    Table.addRow(
+        {formatString("%.3f", Threshold),
+         formatString("%.1f%%", 100.0 * Correct /
+                                    static_cast<double>(Evaluation.size())),
+         formatString("%.1f%%", 100.0 * Measured /
+                                    static_cast<double>(Evaluation.size())),
+         formatString("%.1f", mean(Overheads))});
+  }
+  Table.print();
+
+  std::printf("\nShape check: accuracy and overhead both rise with the\n"
+              "threshold; the default (0.85) sits at the knee -- most of\n"
+              "the accuracy for a small measured fraction.\n");
+  return 0;
+}

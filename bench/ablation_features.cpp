@@ -1,0 +1,113 @@
+//===- bench/ablation_features.cpp - Feature subset ablation --------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation of the Table-2 feature groups (DESIGN.md's design-choice index).
+// The paper motivates each feature family with Figure 6; this bench
+// quantifies their value: the model is re-trained on cumulative feature
+// subsets and its *pure-model* prediction accuracy (no measurement
+// fallback) is evaluated on the held-out set.
+//
+//   basic      : M, N, NNZ, aver_RD        (the four every format shares)
+//   +diagonal  : + Ndiags, NTdiags_ratio   (DIA's signature)
+//   +nnz-dist  : + max_RD, var_RD          (ELL's signature)
+//   +fill      : + ER_DIA, ER_ELL
+//   +powerlaw  : + R                       (COO's signature; full set)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "ml/DecisionTree.h"
+#include "ml/RuleSet.h"
+
+using namespace smat;
+using namespace smat::bench;
+
+namespace {
+
+/// Keeps only the features in \p Mask (others zeroed so they carry no
+/// information for splits).
+Dataset maskDataset(const Dataset &Data, const std::vector<int> &Kept) {
+  Dataset Out = Data;
+  for (Sample &S : Out.Samples) {
+    std::array<double, NumFeatures> Masked{};
+    for (int F : Kept)
+      Masked[static_cast<std::size_t>(F)] = S.X[static_cast<std::size_t>(F)];
+    S.X = Masked;
+  }
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation: Table-2 feature groups ===\n\n");
+
+  // Training database (features + measured labels) and a held-out truth set.
+  FeatureDatabase TrainDb = getSharedDatabase<double>("double");
+  Dataset TrainData = TrainDb.toDataset();
+
+  LearningModel Base = getSharedModel<double>("double");
+  auto Corpus = buildCorpus(corpusScaleFromEnv());
+  std::vector<const CorpusEntry *> Training, Evaluation;
+  splitCorpus(Corpus, Training, Evaluation);
+  TrainingOptions Measure = benchTrainingOptions();
+
+  Dataset EvalData;
+  for (const CorpusEntry *Entry : Evaluation) {
+    FeatureRecord R = buildRecord<double>(*Entry, Base.Kernels, Measure);
+    Sample S;
+    S.X = R.Features.values();
+    S.Label = R.BestFormat;
+    S.Name = R.Name;
+    EvalData.Samples.push_back(std::move(S));
+  }
+
+  struct Step {
+    const char *Name;
+    std::vector<int> Features;
+  };
+  std::vector<Step> Steps;
+  Steps.push_back({"basic", {FeatM, FeatN, FeatNnz, FeatAverRd}});
+  Steps.push_back({"+diagonal", {}});
+  Steps.push_back({"+nnz-dist", {}});
+  Steps.push_back({"+fill", {}});
+  Steps.push_back({"+powerlaw", {}});
+  Steps[1].Features = Steps[0].Features;
+  Steps[1].Features.insert(Steps[1].Features.end(),
+                           {FeatNdiags, FeatNTdiagsRatio});
+  Steps[2].Features = Steps[1].Features;
+  Steps[2].Features.insert(Steps[2].Features.end(), {FeatMaxRd, FeatVarRd});
+  Steps[3].Features = Steps[2].Features;
+  Steps[3].Features.insert(Steps[3].Features.end(), {FeatErDia, FeatErEll});
+  Steps[4].Features = Steps[3].Features;
+  Steps[4].Features.push_back(FeatR);
+
+  AsciiTable Table({"feature set", "#features", "train acc", "held-out acc",
+                    "rules"});
+  for (const Step &S : Steps) {
+    Dataset MaskedTrain = maskDataset(TrainData, S.Features);
+    Dataset MaskedEval = maskDataset(EvalData, S.Features);
+
+    DecisionTree Tree;
+    Tree.build(MaskedTrain);
+    RuleSet Rules = RuleSet::fromTree(Tree, MaskedTrain);
+    Rules.orderByContribution(MaskedTrain);
+    RuleSet Tailored = Rules.tailored(MaskedTrain, 0.01);
+
+    Table.addRow({S.Name, formatString("%zu", S.Features.size()),
+                  formatString("%.1f%%", 100.0 * Tailored.accuracy(MaskedTrain)),
+                  formatString("%.1f%%", 100.0 * Tailored.accuracy(MaskedEval)),
+                  formatString("%zu", Tailored.size())});
+  }
+  Table.print();
+
+  std::printf("\nShape check: each feature family should add held-out\n"
+              "accuracy; the diagonal group unlocks DIA detection, the\n"
+              "nonzero-distribution group ELL, the power-law exponent COO\n"
+              "(paper Section 4 motivates exactly these additions).\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+//===- bench/ablation_policy.cpp - Decision-policy comparison -------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Quantifies the paper's Section-8 argument against clSpMV's decision
+// model: "clSpMV uses the maximum GFLOPS measured in offline stage.
+// Unfortunately ... the maximum performance of one format is not
+// representative enough to reflect the SpMV performance of all the
+// matrices suitable in this format. It is more accurate to use the
+// features of each input matrix to determine its own best format."
+//
+// Four policies decide the format for every held-out matrix; each is
+// scored against the measured best:
+//
+//   always-csr : the Hypre/PETSc status quo (no adaptivity)
+//   clSpMV-ish : per-format offline peak GFLOPS + per-matrix padded work
+//                estimate; pick the format with the lowest predicted time
+//   rules-only : SMAT's ruleset, measurement fallback disabled
+//   SMAT       : ruleset + confidence-gated execute-and-measure
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace smat;
+using namespace smat::bench;
+
+namespace {
+
+/// Offline per-format peak GFLOPS, the clSpMV-style architecture summary.
+std::array<double, NumFormats> offlinePeaks(const FeatureDatabase &Db) {
+  std::array<double, NumFormats> Peaks{};
+  for (const FeatureRecord &R : Db.Records)
+    for (int K = 0; K < NumFormats; ++K)
+      Peaks[static_cast<std::size_t>(K)] = std::max(
+          Peaks[static_cast<std::size_t>(K)],
+          R.Gflops[static_cast<std::size_t>(K)]);
+  return Peaks;
+}
+
+/// clSpMV-style prediction: estimated time = padded flops / offline peak.
+/// Padded flops per format follow from the fill-efficiency features; a
+/// format whose fill guard would reject the matrix is skipped.
+FormatKind clSpmvPolicy(const FeatureVector &F,
+                        const std::array<double, NumFormats> &Peaks) {
+  double BestTime = 0;
+  FormatKind Best = FormatKind::CSR;
+  bool First = true;
+  auto Consider = [&](FormatKind Kind, double PaddedFlops) {
+    double Peak = Peaks[static_cast<int>(Kind)];
+    if (Peak <= 0 || PaddedFlops <= 0)
+      return;
+    double Time = PaddedFlops / Peak;
+    if (First || Time < BestTime) {
+      First = false;
+      BestTime = Time;
+      Best = Kind;
+    }
+  };
+  double Useful = 2.0 * F.Nnz;
+  Consider(FormatKind::CSR, Useful);
+  Consider(FormatKind::COO, Useful);
+  if (F.ErDia > 0 && F.ErDia * DefaultMaxFillRatio >= 1.0 &&
+      F.Ndiags <= DefaultMaxDiags)
+    Consider(FormatKind::DIA, Useful / F.ErDia);
+  if (F.ErEll > 0 && F.ErEll * DefaultMaxFillRatio >= 1.0)
+    Consider(FormatKind::ELL, Useful / F.ErEll);
+  return Best;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation: format-decision policies (paper Section 8 vs "
+              "clSpMV) ===\n\n");
+
+  LearningModel Model = getSharedModel<double>("double");
+  FeatureDatabase TrainDb = getSharedDatabase<double>("double");
+  auto Peaks = offlinePeaks(TrainDb);
+  std::printf("offline per-format peak GFLOPS (the clSpMV summary):");
+  for (int K = 0; K < NumFormats; ++K)
+    std::printf(" %s=%.2f",
+                std::string(formatName(static_cast<FormatKind>(K))).c_str(),
+                Peaks[static_cast<std::size_t>(K)]);
+  std::printf("\n\n");
+
+  auto Corpus = buildCorpus(corpusScaleFromEnv());
+  std::vector<const CorpusEntry *> Training, Evaluation;
+  splitCorpus(Corpus, Training, Evaluation);
+  const Smat<double> Tuner(Model);
+  TrainingOptions Measure = benchTrainingOptions();
+
+  int Total = 0;
+  int HitsCsr = 0, HitsClSpmv = 0, HitsRules = 0, HitsSmat = 0;
+  for (const CorpusEntry *Entry : Evaluation) {
+    FeatureRecord Truth =
+        buildRecord<double>(*Entry, Model.Kernels, Measure);
+    ++Total;
+
+    HitsCsr += Truth.BestFormat == FormatKind::CSR ? 1 : 0;
+    HitsClSpmv +=
+        clSpmvPolicy(Truth.Features, Peaks) == Truth.BestFormat ? 1 : 0;
+
+    TuneOptions RulesOnly;
+    RulesOnly.AllowMeasure = false;
+    HitsRules += Tuner.tune(Entry->Matrix, RulesOnly).format() ==
+                         Truth.BestFormat
+                     ? 1
+                     : 0;
+    HitsSmat += Tuner.tune(Entry->Matrix).format() == Truth.BestFormat ? 1
+                                                                       : 0;
+  }
+
+  AsciiTable Table({"policy", "correct", "accuracy"});
+  auto Row = [&](const char *Name, int Hits) {
+    Table.addRow({Name, formatString("%d/%d", Hits, Total),
+                  formatString("%.1f%%",
+                               100.0 * Hits / std::max(1, Total))});
+  };
+  Row("always-CSR (Hypre/PETSc status quo)", HitsCsr);
+  Row("clSpMV-style offline peaks", HitsClSpmv);
+  Row("SMAT rules only", HitsRules);
+  Row("SMAT rules + measurement", HitsSmat);
+  Table.print();
+
+  std::printf("\nShape check: per-matrix features beat the offline-peak\n"
+              "policy (the paper's Section-8 claim), and the measurement\n"
+              "fallback recovers part of the remaining gap.\n");
+  return 0;
+}

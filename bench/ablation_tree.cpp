@@ -1,0 +1,52 @@
+//===- bench/ablation_tree.cpp - Learner hyperparameter ablation ----------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation of the decision-tree learner's configuration (the paper adopts
+// C5.0's defaults; this bench defends our C4.5 analogue's defaults). For
+// each (max depth, pruning) setting: 5-fold cross-validated tree and
+// tailored-ruleset accuracy over the training feature database, plus model
+// size — showing pruning's generalization/size tradeoff and the depth knee.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "ml/CrossValidate.h"
+
+using namespace smat;
+using namespace smat::bench;
+
+int main() {
+  std::printf("=== Ablation: decision-tree configuration (5-fold CV) "
+              "===\n\n");
+
+  FeatureDatabase Db = getSharedDatabase<double>("double");
+  Dataset Data = Db.toDataset();
+  std::printf("training database: %zu samples\n\n", Data.size());
+
+  AsciiTable Table({"max depth", "pruning", "CV tree acc", "CV ruleset acc",
+                    "mean leaves"});
+  for (int Depth : {2, 4, 8, 16}) {
+    for (bool Prune : {false, true}) {
+      TreeConfig Config;
+      Config.MaxDepth = Depth;
+      Config.Prune = Prune;
+      CrossValidationResult Cv = crossValidate(Data, Config, 5);
+      Table.addRow({formatString("%d", Depth), Prune ? "on" : "off",
+                    formatString("%.1f%%", 100.0 * Cv.MeanTreeAccuracy),
+                    formatString("%.1f%%", 100.0 * Cv.MeanRulesetAccuracy),
+                    formatString("%.1f", Cv.MeanLeaves)});
+    }
+  }
+  Table.print();
+
+  std::printf("\nShape check: accuracy saturates by depth ~8 (the knee);\n"
+              "pruning trims leaves (smaller rulesets -> cheaper runtime\n"
+              "rule evaluation) at equal or better validation accuracy.\n"
+              "The library default (depth 16, pruning on) sits past the\n"
+              "knee with the pruned model size.\n");
+  return 0;
+}

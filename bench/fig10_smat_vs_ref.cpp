@@ -1,0 +1,115 @@
+//===- bench/fig10_smat_vs_ref.cpp - Paper Figure 10 reproduction ---------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Paper Figure 10: "The performance of SMAT vs MKL" in single and double
+// precision. The paper's MKL bar is "the maximum performance number of DIA,
+// CSR, and COO SpMV functions" from the fixed-interface library; SMAT won
+// by up to 6.1x (SP) / 4.7x (DP) on the 16 representatives and 3.2x / 3.8x
+// on average over all 331 evaluation matrices.
+//
+// Our baseline is the smat::ref library (the MKL stand-in, see DESIGN.md):
+// per-format entry points with straightforward kernels; the bar is the best
+// of its CSR/COO/DIA calls, exactly as the paper computed MKL's.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "ref/RefSpmv.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+
+using namespace smat;
+using namespace smat::bench;
+
+namespace {
+
+/// Best-of-{CSR, COO, DIA} GFLOPS through the fixed-interface baseline.
+template <typename T> double refBestGflops(const CsrMatrix<T> &A) {
+  AlignedVector<T> X(static_cast<std::size_t>(A.NumCols), T(1));
+  AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows), T(0));
+  std::uint64_t Nnz = static_cast<std::uint64_t>(A.nnz());
+
+  double Best = spmvGflops(
+      Nnz, measureSecondsPerCall([&] { refCsrSpmv(A, X.data(), Y.data()); },
+                                 5e-3));
+  {
+    CooMatrix<T> Coo = csrToCoo(A);
+    Best = std::max(
+        Best, spmvGflops(Nnz, measureSecondsPerCall(
+                                  [&] { refCooSpmv(Coo, X.data(), Y.data()); },
+                                  5e-3)));
+  }
+  DiaMatrix<T> Dia;
+  if (csrToDia(A, Dia))
+    Best = std::max(
+        Best, spmvGflops(Nnz, measureSecondsPerCall(
+                                  [&] { refDiaSpmv(Dia, X.data(), Y.data()); },
+                                  5e-3)));
+  return Best;
+}
+
+template <typename T>
+void runPrecision(const char *Precision,
+                  const std::vector<CorpusEntry> &Reps) {
+  LearningModel Model = getSharedModel<T>(Precision);
+  const Smat<T> Tuner(Model);
+
+  std::printf("--- %s precision ---\n", Precision);
+  AsciiTable Table({"#", "matrix", "ref best", "SMAT", "speedup", "format"});
+  double MaxSpeedup = 0;
+  std::vector<double> Speedups;
+  for (std::size_t I = 0; I != Reps.size(); ++I) {
+    CsrMatrix<T> A = convertValueType<T>(Reps[I].Matrix);
+    double Ref = refBestGflops(A);
+    TunedSpmv<T> Op = Tuner.tune(A);
+    double Tuned = measureTunedGflops(Op);
+    double Speedup = Ref > 0 ? Tuned / Ref : 0;
+    Speedups.push_back(Speedup);
+    MaxSpeedup = std::max(MaxSpeedup, Speedup);
+    Table.addRow({formatString("%zu", I + 1), Reps[I].Name,
+                  formatString("%.3f", Ref), formatString("%.3f", Tuned),
+                  formatString("%.2fx", Speedup),
+                  std::string(formatName(Op.format()))});
+  }
+  Table.print();
+  std::printf("max speedup %.2fx, geometric mean %.2fx\n\n", MaxSpeedup,
+              geometricMean(Speedups));
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Figure 10: SMAT vs fixed-interface baseline (MKL "
+              "stand-in) ===\n\n");
+
+  auto Reps = representativeMatrices();
+  runPrecision<float>("float", Reps);
+  runPrecision<double>("double", Reps);
+
+  // The paper also averages over all 331 held-out matrices; do the same on
+  // the held-out slice of the corpus (double precision).
+  std::printf("--- held-out evaluation set (double precision) ---\n");
+  auto Corpus = buildCorpus(corpusScaleFromEnv());
+  std::vector<const CorpusEntry *> Training, Evaluation;
+  splitCorpus(Corpus, Training, Evaluation);
+  LearningModel Model = getSharedModel<double>("double");
+  const Smat<double> Tuner(Model);
+  std::vector<double> Speedups;
+  for (const CorpusEntry *Entry : Evaluation) {
+    double Ref = refBestGflops(Entry->Matrix);
+    TunedSpmv<double> Op = Tuner.tune(Entry->Matrix);
+    Speedups.push_back(Ref > 0 ? measureTunedGflops(Op) / Ref : 0.0);
+  }
+  std::printf("%zu matrices, geometric-mean speedup %.2fx "
+              "(paper: 3.2x SP / 3.8x DP average over 331)\n",
+              Speedups.size(), geometricMean(Speedups));
+  std::printf("\nShape check: SMAT >= baseline nearly everywhere; largest\n"
+              "wins on DIA/ELL-affine inputs the fixed CSR-centric library\n"
+              "cannot exploit.\n");
+  return 0;
+}

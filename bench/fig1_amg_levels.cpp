@@ -1,0 +1,72 @@
+//===- bench/fig1_amg_levels.cpp - Paper Figure 1 reproduction ------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Paper Figure 1: "An example of dynamic sparse matrix structures in AMG
+// solver and their SpMV performance using different formats." The Hypre AMG
+// setup produces a series of A-operators whose structure drifts level by
+// level; the paper shows the best format shifting from DIA/COO-friendly at
+// fine levels to CSR at coarse levels (where DIA's zero-filling explodes).
+//
+// We rebuild the scenario: a 3D 7-point Laplacian hierarchy, and for each
+// level's A-operator the measured GFLOPS of all four formats (using the
+// scoreboard-selected kernels, as SMAT would run them).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "amg/Hierarchy.h"
+#include "features/FeatureExtractor.h"
+#include "matrix/Generators.h"
+
+using namespace smat;
+using namespace smat::bench;
+
+int main() {
+  std::printf("=== Figure 1: dynamic sparse structure across AMG levels "
+              "===\n\n");
+  std::printf("Paper setup: Hypre AMG on a structured-grid problem; the\n"
+              "paper's four panels have nnz 2244004 / 60626 / 38681 / 865,\n"
+              "best format DIA or COO at fine levels, CSR at coarse levels.\n"
+              "Ours: 3D 7-point Laplacian (40^3 = 64000 rows), Ruge-Stuben\n"
+              "coarsening, per-level exhaustive format measurement.\n\n");
+
+  LearningModel Model = getSharedModel<double>("double");
+
+  AmgHierarchy Hierarchy;
+  HierarchyOptions Opts;
+  Hierarchy.build(laplace3d7pt(40, 40, 40), Opts);
+
+  TrainingOptions Measure = benchTrainingOptions();
+  Measure.MeasureMinSeconds = 5e-3;
+
+  AsciiTable Table({"level", "rows", "nnz", "Ndiags", "ER_DIA", "CSR", "COO",
+                    "DIA", "ELL", "best"});
+  for (std::size_t L = 0; L != Hierarchy.numLevels(); ++L) {
+    const CsrMatrix<double> &A = Hierarchy.level(L).A;
+    FeatureVector F = extractStructureFeatures(A);
+    auto Gflops = measureAllFormats(A, Model.Kernels, Measure);
+    int Best = 0;
+    for (int K = 1; K < NumFormats; ++K)
+      if (Gflops[static_cast<std::size_t>(K)] >
+          Gflops[static_cast<std::size_t>(Best)])
+        Best = K;
+    Table.addRow({formatString("%zu", L), formatString("%d", A.NumRows),
+                  formatString("%lld", static_cast<long long>(A.nnz())),
+                  formatString("%.0f", F.Ndiags),
+                  formatString("%.3f", F.ErDia),
+                  gflopsCell(Gflops[0]), gflopsCell(Gflops[1]),
+                  gflopsCell(Gflops[2]), gflopsCell(Gflops[3]),
+                  std::string(formatName(static_cast<FormatKind>(Best)))});
+  }
+  Table.print();
+
+  std::printf("\nShape check vs paper: the finest level should favor DIA\n"
+              "(true-diagonal stencil), and coarse Galerkin operators -- \n"
+              "whose diagonals scatter (Ndiags grows, ER_DIA collapses) --\n"
+              "should fall back to CSR/COO.\n");
+  return 0;
+}

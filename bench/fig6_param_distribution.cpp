@@ -1,0 +1,143 @@
+//===- bench/fig6_param_distribution.cpp - Paper Figure 6 reproduction ----===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Paper Figure 6: "The distribution of the beneficial matrices with
+// different parameter values" — for each feature parameter, the histogram
+// of matrices that benefit from the corresponding format (DIA or ELL, and R
+// for COO) across parameter-value intervals. The paper reads five rules off
+// these plots:
+//   (a) small Ndiags / small max_RD  -> good for DIA / ELL
+//   (b) large ER_DIA / ER_ELL        -> good for DIA / ELL
+//   (c) large NTdiags_ratio          -> good for DIA (crisper than ER_DIA)
+//   (d) small var_RD                 -> good for ELL
+//   (e) R in [1, 4]                  -> good for COO
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "features/FeatureExtractor.h"
+
+#include <functional>
+#include <vector>
+
+using namespace smat;
+using namespace smat::bench;
+
+namespace {
+
+struct IntervalSpec {
+  const char *Label;
+  std::function<bool(double)> Contains;
+};
+
+void printHistogram(const char *Title, const FeatureDatabase &Db,
+                    FormatKind Beneficiary,
+                    const std::function<double(const FeatureVector &)> &Get,
+                    const std::vector<IntervalSpec> &Intervals) {
+  std::vector<std::size_t> Counts(Intervals.size(), 0);
+  std::size_t Total = 0;
+  for (const FeatureRecord &R : Db.Records) {
+    if (R.BestFormat != Beneficiary)
+      continue;
+    ++Total;
+    double V = Get(R.Features);
+    for (std::size_t I = 0; I != Intervals.size(); ++I)
+      if (Intervals[I].Contains(V)) {
+        ++Counts[I];
+        break;
+      }
+  }
+  std::printf("%s (beneficial = best format is %s; %zu matrices)\n", Title,
+              std::string(formatName(Beneficiary)).c_str(), Total);
+  for (std::size_t I = 0; I != Intervals.size(); ++I) {
+    double Pct = Total ? 100.0 * static_cast<double>(Counts[I]) /
+                             static_cast<double>(Total)
+                       : 0.0;
+    std::printf("  %-12s %5.1f%%  ", Intervals[I].Label, Pct);
+    int Bars = static_cast<int>(Pct / 2.0);
+    for (int B = 0; B < Bars; ++B)
+      std::printf("#");
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Figure 6: distribution of beneficial matrices vs "
+              "parameter intervals ===\n\n");
+
+  FeatureDatabase Db = getSharedDatabase<double>("double");
+
+  auto Lt = [](double Hi) {
+    return [Hi](double V) { return V < Hi; };
+  };
+  auto Between = [](double Lo, double Hi) {
+    return [Lo, Hi](double V) { return V >= Lo && V < Hi; };
+  };
+  auto Ge = [](double Lo) {
+    return [Lo](double V) { return V >= Lo; };
+  };
+
+  // (a) Ndiags for DIA, max_RD for ELL.
+  printHistogram("(a1) Ndiags intervals", Db, FormatKind::DIA,
+                 [](const FeatureVector &F) { return F.Ndiags; },
+                 {{"[0,16)", Lt(16)},
+                  {"[16,64)", Between(16, 64)},
+                  {"[64,256)", Between(64, 256)},
+                  {">=256", Ge(256)}});
+  printHistogram("(a2) max_RD intervals", Db, FormatKind::ELL,
+                 [](const FeatureVector &F) { return F.MaxRd; },
+                 {{"[0,8)", Lt(8)},
+                  {"[8,32)", Between(8, 32)},
+                  {"[32,128)", Between(32, 128)},
+                  {">=128", Ge(128)}});
+
+  // (b) Fill-efficiency ratios.
+  printHistogram("(b1) ER_DIA intervals", Db, FormatKind::DIA,
+                 [](const FeatureVector &F) { return F.ErDia; },
+                 {{"[0,0.25)", Lt(0.25)},
+                  {"[0.25,0.5)", Between(0.25, 0.5)},
+                  {"[0.5,0.75)", Between(0.5, 0.75)},
+                  {">=0.75", Ge(0.75)}});
+  printHistogram("(b2) ER_ELL intervals", Db, FormatKind::ELL,
+                 [](const FeatureVector &F) { return F.ErEll; },
+                 {{"[0,0.25)", Lt(0.25)},
+                  {"[0.25,0.5)", Between(0.25, 0.5)},
+                  {"[0.5,0.75)", Between(0.5, 0.75)},
+                  {">=0.75", Ge(0.75)}});
+
+  // (c) True-diagonal ratio for DIA.
+  printHistogram("(c) NTdiags_ratio intervals", Db, FormatKind::DIA,
+                 [](const FeatureVector &F) { return F.NTdiagsRatio; },
+                 {{"[0,0.25)", Lt(0.25)},
+                  {"[0.25,0.5)", Between(0.25, 0.5)},
+                  {"[0.5,0.75)", Between(0.5, 0.75)},
+                  {">=0.75", Ge(0.75)}});
+
+  // (d) Row-degree variance for ELL.
+  printHistogram("(d) var_RD intervals", Db, FormatKind::ELL,
+                 [](const FeatureVector &F) { return F.VarRd; },
+                 {{"[0,0.5)", Lt(0.5)},
+                  {"[0.5,2)", Between(0.5, 2)},
+                  {"[2,10)", Between(2, 10)},
+                  {">=10", Ge(10)}});
+
+  // (e) Power-law exponent for COO.
+  printHistogram("(e) R intervals", Db, FormatKind::COO,
+                 [](const FeatureVector &F) { return F.R; },
+                 {{"[0,1)", Lt(1)},
+                  {"[1,4)", Between(1, 4)},
+                  {"[4,inf)", Between(4, FeatureInf)},
+                  {"undefined", Ge(FeatureInf)}});
+
+  std::printf("Shape check vs paper: DIA mass at small Ndiags and large\n"
+              "NTdiags_ratio/ER_DIA; ELL mass at small max_RD/var_RD and\n"
+              "large ER_ELL; COO mass inside R in [1,4).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- bench/tab1_format_affinity.cpp - Paper Table 1 reproduction --------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Paper Table 1: "Application and distribution of affinity to each format" —
+// per application domain, how many matrices measure fastest in CSR / COO /
+// DIA / ELL, with the bottom row giving the whole-collection percentages
+// (paper: CSR 63%, COO 21%, DIA 9%, ELL 7%).
+//
+// Set SMAT_FULL=1 for the paper-scale 2000+ matrix corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <map>
+
+using namespace smat;
+using namespace smat::bench;
+
+int main() {
+  std::printf("=== Table 1: best-format distribution by application domain "
+              "===\n\n");
+
+  FeatureDatabase Db = getSharedDatabase<double>("double");
+
+  std::map<std::string, std::array<std::size_t, NumFormats>> PerDomain;
+  for (const FeatureRecord &R : Db.Records)
+    ++PerDomain[R.Domain][static_cast<int>(R.BestFormat)];
+
+  AsciiTable Table({"application domain", "CSR", "COO", "DIA", "ELL",
+                    "total"});
+  std::array<std::size_t, NumFormats> Totals{};
+  for (const auto &[Domain, Counts] : PerDomain) {
+    std::size_t DomainTotal = 0;
+    for (int K = 0; K < NumFormats; ++K) {
+      Totals[static_cast<std::size_t>(K)] +=
+          Counts[static_cast<std::size_t>(K)];
+      DomainTotal += Counts[static_cast<std::size_t>(K)];
+    }
+    Table.addRow({Domain, formatString("%zu", Counts[0]),
+                  formatString("%zu", Counts[1]),
+                  formatString("%zu", Counts[2]),
+                  formatString("%zu", Counts[3]),
+                  formatString("%zu", DomainTotal)});
+  }
+  std::size_t Grand = Totals[0] + Totals[1] + Totals[2] + Totals[3];
+  auto Pct = [Grand](std::size_t C) {
+    return formatString("%.0f%%",
+                        100.0 * static_cast<double>(C) /
+                            static_cast<double>(Grand ? Grand : 1));
+  };
+  Table.addRow({"Percentage", Pct(Totals[0]), Pct(Totals[1]), Pct(Totals[2]),
+                Pct(Totals[3]), formatString("%zu", Grand)});
+  Table.print();
+
+  std::printf("\nPaper bottom row: CSR 63%%, COO 21%%, DIA 9%%, ELL 7%% over "
+              "2386 matrices.\n");
+  std::printf("Shape check: CSR the clear majority; COO second; DIA and ELL "
+              "structured minorities.\n");
+  return 0;
+}

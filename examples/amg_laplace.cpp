@@ -1,0 +1,82 @@
+//===- examples/amg_laplace.cpp - SMAT inside an AMG solver ---------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's flagship application (Section 7.4): an algebraic multigrid
+// solve where every operator's SpMV is swapped from fixed CSR to a
+// SMAT-tuned kernel. Solves -Laplace(u) = f on a 3D grid with both
+// backends and reports the per-level format choices and the speedup.
+//
+//   ./amg_laplace [grid_side]       (default 36 -> 46656 unknowns)
+//
+//===----------------------------------------------------------------------===//
+
+#include "amg/AmgSolver.h"
+#include "core/Trainer.h"
+#include "matrix/Generators.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace smat;
+
+int main(int argc, char **argv) {
+  index_t Side = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 36;
+  CsrMatrix<double> A = laplace3d7pt(Side, Side, Side);
+  std::printf("3D 7-point Laplacian, %d^3 = %d unknowns, %lld nonzeros\n",
+              Side, A.NumRows, static_cast<long long>(A.nnz()));
+
+  // Off-line stage: train once (a production run would load a model file).
+  std::printf("training SMAT model...\n");
+  auto Corpus = buildCorpus(CorpusScale::Tiny);
+  std::vector<const CorpusEntry *> Training, Evaluation;
+  splitCorpus(Corpus, Training, Evaluation);
+  TrainingOptions TrainOpts;
+  TrainOpts.MeasureMinSeconds = 5e-4;
+  TrainResult Trained = trainSmat<double>(Training, TrainOpts);
+  const Smat<double> Tuner(Trained.Model);
+
+  std::vector<double> B(static_cast<std::size_t>(A.NumRows), 1.0);
+  std::vector<double> X;
+
+  // Hypre-style baseline: CSR everywhere.
+  AmgOptions Opts;
+  Opts.RelTol = 1e-8;
+  Opts.Backend = SpmvBackendKind::FixedCsr;
+  AmgSolver Fixed;
+  Fixed.setup(A, Opts);
+  SolveStats FixedStats = Fixed.solve(B, X);
+  std::printf("\nfixed-CSR AMG : %d iterations, rel.res %.2e, setup %.0f ms, "
+              "solve %.0f ms\n",
+              FixedStats.Iterations, FixedStats.RelResidual,
+              FixedStats.SetupSeconds * 1e3, FixedStats.SolveSeconds * 1e3);
+
+  // The paper's change: "simply replace the SpMV kernel codes with SMAT
+  // interfaces with no changes to the original CSR data structure".
+  Opts.Backend = SpmvBackendKind::Smat;
+  Opts.Tuner = &Tuner;
+  AmgSolver Tuned;
+  Tuned.setup(A, Opts);
+  SolveStats TunedStats = Tuned.solve(B, X);
+  std::printf("SMAT AMG      : %d iterations, rel.res %.2e, setup %.0f ms, "
+              "solve %.0f ms\n",
+              TunedStats.Iterations, TunedStats.RelResidual,
+              TunedStats.SetupSeconds * 1e3, TunedStats.SolveSeconds * 1e3);
+  if (TunedStats.SolveSeconds > 0)
+    std::printf("solve-phase speedup: %.2fx (paper Table 4: 1.22-1.29x)\n",
+                FixedStats.SolveSeconds / TunedStats.SolveSeconds);
+
+  std::printf("\nper-operator formats chosen by SMAT:\n");
+  std::printf("  %-5s %-3s %10s %12s  %-6s %s\n", "level", "op", "rows",
+              "nnz", "format", "kernel");
+  for (const LevelFormatInfo &D : Tuned.formatDecisions())
+    std::printf("  %-5zu %-3s %10d %12lld  %-6s %s\n", D.Level,
+                D.Operator.c_str(), D.Rows, static_cast<long long>(D.Nnz),
+                std::string(formatName(D.Format)).c_str(), D.Kernel.c_str());
+
+  std::printf("\n(The paper observes DIA on the fine stencil levels and ELL "
+              "on most P operators.)\n");
+  return 0;
+}

@@ -1,0 +1,226 @@
+//===- amg/AmgSolver.cpp - AMG V-cycle solver with SMAT backend -----------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "amg/AmgSolver.h"
+
+#include "kernels/KernelRegistry.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace smat;
+
+namespace {
+
+double norm2(const double *X, std::size_t N) {
+  double Sum = 0.0;
+  for (std::size_t I = 0; I != N; ++I)
+    Sum += X[I] * X[I];
+  return std::sqrt(Sum);
+}
+
+double dot(const double *X, const double *Y, std::size_t N) {
+  double Sum = 0.0;
+  for (std::size_t I = 0; I != N; ++I)
+    Sum += X[I] * Y[I];
+  return Sum;
+}
+
+/// The FixedCsr backend's operator application: the basic CSR kernel, which
+/// is what Hypre-style always-CSR solvers run.
+SpmvFn bindFixedCsr(const CsrMatrix<double> &A) {
+  const auto &Basic = kernelTable<double>().Csr.front();
+  return [&A, Fn = Basic.Fn](const double *X, double *Y) { Fn(A, X, Y); };
+}
+
+} // namespace
+
+void AmgSolver::setup(const CsrMatrix<double> &A, const AmgOptions &Opts) {
+  WallTimer Timer;
+  Options = Opts;
+  Hier.build(A, Opts.Hierarchy);
+
+  std::size_t NumLevels = Hier.numLevels();
+  Ops.clear();
+  Ops.resize(NumLevels);
+  Decisions.clear();
+  Tuned.clear();
+  // Three operators per level at most; reserving up front keeps the lambdas'
+  // pointers into Tuned stable.
+  Tuned.reserve(3 * NumLevels);
+
+  auto Bind = [&](const CsrMatrix<double> &M, std::size_t Level,
+                  const char *Name) -> SpmvFn {
+    LevelFormatInfo Info;
+    Info.Level = Level;
+    Info.Operator = Name;
+    Info.Rows = M.NumRows;
+    Info.Nnz = M.nnz();
+    if (Options.Backend == SpmvBackendKind::Smat) {
+      assert(Options.Tuner && "Smat backend requires a tuner");
+      Tuned.push_back(Options.Tuner->tune(M));
+      TunedSpmv<double> *Op = &Tuned.back();
+      Info.Format = Op->format();
+      Info.Kernel = Op->kernelName();
+      Decisions.push_back(Info);
+      return [Op](const double *X, double *Y) { Op->apply(X, Y); };
+    }
+    Info.Format = FormatKind::CSR;
+    Info.Kernel = kernelTable<double>().Csr.front().Name;
+    Decisions.push_back(Info);
+    return bindFixedCsr(M);
+  };
+
+  for (std::size_t L = 0; L != NumLevels; ++L) {
+    const AmgLevel &Level = Hier.level(L);
+    LevelOps &Bound = Ops[L];
+    Bound.ApplyA = Bind(Level.A, L, "A");
+    if (L + 1 != NumLevels) {
+      Bound.ApplyP = Bind(Level.P, L, "P");
+      Bound.ApplyR = Bind(Level.R, L, "R");
+    }
+    std::vector<double> Diag = extractDiagonal(Level.A);
+    Bound.InvDiag.resize(Diag.size());
+    for (std::size_t I = 0; I != Diag.size(); ++I)
+      Bound.InvDiag[I] = Diag[I] != 0.0 ? 1.0 / Diag[I] : 0.0;
+    std::size_t N = static_cast<std::size_t>(Level.A.NumRows);
+    Bound.X.assign(N, 0.0);
+    Bound.B.assign(N, 0.0);
+    Bound.Scratch.assign(N, 0.0);
+  }
+
+  // Coarsest-level solver.
+  const CsrMatrix<double> &Coarsest = Hier.level(NumLevels - 1).A;
+  UseCoarseLu = Coarsest.NumRows <= Options.DenseCoarseLimit;
+  if (UseCoarseLu)
+    CoarseLu.factor(Coarsest);
+
+  SetupTime = Timer.seconds();
+}
+
+void AmgSolver::runVcycle(std::size_t L, const double *B, double *X) const {
+  const LevelOps &Bound = Ops[L];
+  const AmgLevel &Level = Hier.level(L);
+  index_t N = Level.A.NumRows;
+
+  if (L + 1 == Hier.numLevels()) {
+    if (UseCoarseLu) {
+      std::memcpy(X, B, sizeof(double) * static_cast<std::size_t>(N));
+      CoarseLu.solve(X);
+    } else {
+      // Fall back to heavy smoothing on an oversized coarsest grid.
+      std::memset(X, 0, sizeof(double) * static_cast<std::size_t>(N));
+      for (int Sweep = 0; Sweep < 50; ++Sweep)
+        jacobiSweep(Bound.ApplyA, Bound.InvDiag, B, X,
+                    Bound.Scratch.data(), N, Options.JacobiOmega);
+    }
+    return;
+  }
+
+  // Pre-smoothing.
+  for (int Sweep = 0; Sweep < Options.PreSweeps; ++Sweep)
+    jacobiSweep(Bound.ApplyA, Bound.InvDiag, B, X, Bound.Scratch.data(), N,
+                Options.JacobiOmega);
+
+  // Restrict the residual.
+  residual(Bound.ApplyA, B, X, Bound.Scratch.data(), N);
+  const LevelOps &CoarseOps = Ops[L + 1];
+  Bound.ApplyR(Bound.Scratch.data(), CoarseOps.B.data());
+
+  // Coarse-grid correction.
+  std::memset(CoarseOps.X.data(), 0,
+              sizeof(double) * CoarseOps.X.size());
+  runVcycle(L + 1, CoarseOps.B.data(), CoarseOps.X.data());
+
+  // Prolongate and correct. ApplyP writes a full fine-level vector.
+  Bound.ApplyP(CoarseOps.X.data(), Bound.Scratch.data());
+  for (index_t I = 0; I < N; ++I)
+    X[I] += Bound.Scratch[I];
+
+  // Post-smoothing.
+  for (int Sweep = 0; Sweep < Options.PostSweeps; ++Sweep)
+    jacobiSweep(Bound.ApplyA, Bound.InvDiag, B, X, Bound.Scratch.data(), N,
+                Options.JacobiOmega);
+}
+
+SolveStats AmgSolver::solve(const std::vector<double> &B,
+                            std::vector<double> &X) const {
+  assert(!Ops.empty() && "solve() before setup()");
+  SolveStats Stats;
+  Stats.SetupSeconds = SetupTime;
+  WallTimer Timer;
+
+  std::size_t N = B.size();
+  X.resize(N, 0.0);
+  double BNorm = norm2(B.data(), N);
+  if (BNorm == 0.0)
+    BNorm = 1.0;
+
+  std::vector<double> R(N);
+  for (int Iter = 0; Iter < Options.MaxIterations; ++Iter) {
+    runVcycle(0, B.data(), X.data());
+    ++Stats.Iterations;
+    residual(Ops[0].ApplyA, B.data(), X.data(), R.data(),
+             static_cast<index_t>(N));
+    Stats.RelResidual = norm2(R.data(), N) / BNorm;
+    if (Stats.RelResidual <= Options.RelTol) {
+      Stats.Converged = true;
+      break;
+    }
+  }
+  Stats.SolveSeconds = Timer.seconds();
+  return Stats;
+}
+
+SolveStats AmgSolver::solvePcg(const std::vector<double> &B,
+                               std::vector<double> &X) const {
+  assert(!Ops.empty() && "solvePcg() before setup()");
+  SolveStats Stats;
+  Stats.SetupSeconds = SetupTime;
+  WallTimer Timer;
+
+  std::size_t N = B.size();
+  index_t Ni = static_cast<index_t>(N);
+  X.assign(N, 0.0);
+  double BNorm = norm2(B.data(), N);
+  if (BNorm == 0.0)
+    BNorm = 1.0;
+
+  std::vector<double> R(B), Z(N, 0.0), P(N), Ap(N);
+  // z = M^-1 r via one V-cycle from a zero guess.
+  runVcycle(0, R.data(), Z.data());
+  P = Z;
+  double RzOld = dot(R.data(), Z.data(), N);
+
+  for (int Iter = 0; Iter < Options.MaxIterations; ++Iter) {
+    Ops[0].ApplyA(P.data(), Ap.data());
+    double PAp = dot(P.data(), Ap.data(), N);
+    if (PAp == 0.0)
+      break;
+    double Alpha = RzOld / PAp;
+    for (std::size_t I = 0; I != N; ++I) {
+      X[I] += Alpha * P[I];
+      R[I] -= Alpha * Ap[I];
+    }
+    ++Stats.Iterations;
+    Stats.RelResidual = norm2(R.data(), N) / BNorm;
+    if (Stats.RelResidual <= Options.RelTol) {
+      Stats.Converged = true;
+      break;
+    }
+    std::fill(Z.begin(), Z.end(), 0.0);
+    runVcycle(0, R.data(), Z.data());
+    double RzNew = dot(R.data(), Z.data(), N);
+    double Beta = RzNew / RzOld;
+    RzOld = RzNew;
+    for (std::size_t I = 0; I != N; ++I)
+      P[I] = Z[I] + Beta * P[I];
+  }
+  (void)Ni;
+  Stats.SolveSeconds = Timer.seconds();
+  return Stats;
+}

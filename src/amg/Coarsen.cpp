@@ -1,0 +1,196 @@
+//===- amg/Coarsen.cpp - C/F splitting algorithms -------------------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "amg/Coarsen.h"
+
+#include "matrix/FormatConvert.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <queue>
+
+using namespace smat;
+
+namespace {
+
+/// Ruge–Stüben first pass: points are picked as C in decreasing order of the
+/// number of points they strongly influence (|S^T row|); unassigned strong
+/// dependents become F, and each new F point bumps the measure of the other
+/// points it depends on, steering the sweep towards good covers.
+std::vector<CfPoint> coarsenRugeL(const CsrMatrix<double> &S,
+                                  const CsrMatrix<double> &St) {
+  index_t N = S.NumRows;
+  constexpr std::uint8_t Unassigned = 2;
+  std::vector<std::uint8_t> State(static_cast<std::size_t>(N), Unassigned);
+  std::vector<double> Measure(static_cast<std::size_t>(N));
+  for (index_t I = 0; I < N; ++I)
+    Measure[static_cast<std::size_t>(I)] =
+        static_cast<double>(St.rowDegree(I));
+
+  // Lazy max-priority queue (stale entries skipped on pop).
+  using Entry = std::pair<double, index_t>;
+  std::priority_queue<Entry> Queue;
+  for (index_t I = 0; I < N; ++I)
+    Queue.push({Measure[static_cast<std::size_t>(I)], I});
+
+  while (!Queue.empty()) {
+    auto [Priority, Point] = Queue.top();
+    Queue.pop();
+    if (State[static_cast<std::size_t>(Point)] != Unassigned ||
+        Priority != Measure[static_cast<std::size_t>(Point)])
+      continue;
+    if (Priority <= 0.0) {
+      // Influences no one: keep it fine (classical RS leaves these F).
+      State[static_cast<std::size_t>(Point)] =
+          static_cast<std::uint8_t>(CfPoint::F);
+      continue;
+    }
+    State[static_cast<std::size_t>(Point)] =
+        static_cast<std::uint8_t>(CfPoint::C);
+    // Unassigned points strongly depending on this new C point become F.
+    for (index_t I = St.RowPtr[Point]; I < St.RowPtr[Point + 1]; ++I) {
+      index_t Dependent = St.ColIdx[I];
+      if (State[static_cast<std::size_t>(Dependent)] != Unassigned)
+        continue;
+      State[static_cast<std::size_t>(Dependent)] =
+          static_cast<std::uint8_t>(CfPoint::F);
+      // Each point the new F point depends on becomes more attractive.
+      for (index_t J = S.RowPtr[Dependent]; J < S.RowPtr[Dependent + 1];
+           ++J) {
+        index_t Influencer = S.ColIdx[J];
+        if (State[static_cast<std::size_t>(Influencer)] != Unassigned)
+          continue;
+        Measure[static_cast<std::size_t>(Influencer)] += 1.0;
+        Queue.push({Measure[static_cast<std::size_t>(Influencer)],
+                    Influencer});
+      }
+    }
+  }
+
+  std::vector<CfPoint> Split(static_cast<std::size_t>(N));
+  for (index_t I = 0; I < N; ++I)
+    Split[static_cast<std::size_t>(I)] =
+        State[static_cast<std::size_t>(I)] ==
+                static_cast<std::uint8_t>(CfPoint::C)
+            ? CfPoint::C
+            : CfPoint::F;
+  return Split;
+}
+
+/// CLJP/PMIS-style splitting: measure = strong-influence count plus a random
+/// tie-breaker in [0, 1); every point that is a local maximum among its
+/// undecided strong neighbours becomes C, its undecided strong neighbours
+/// become F; repeat until all points are decided. Isolated points (no strong
+/// connections at all) become F.
+std::vector<CfPoint> coarsenCljp(const CsrMatrix<double> &S,
+                                 const CsrMatrix<double> &St,
+                                 std::uint64_t Seed) {
+  index_t N = S.NumRows;
+  constexpr std::uint8_t Unassigned = 2;
+  std::vector<std::uint8_t> State(static_cast<std::size_t>(N), Unassigned);
+  std::vector<double> Measure(static_cast<std::size_t>(N));
+  Rng Rng(Seed);
+  for (index_t I = 0; I < N; ++I)
+    Measure[static_cast<std::size_t>(I)] =
+        static_cast<double>(St.rowDegree(I)) + Rng.uniform();
+
+  // Points with no strong connections in either direction never interpolate
+  // from anyone: make them F immediately (they smooth perfectly).
+  for (index_t I = 0; I < N; ++I)
+    if (S.rowDegree(I) == 0 && St.rowDegree(I) == 0)
+      State[static_cast<std::size_t>(I)] =
+          static_cast<std::uint8_t>(CfPoint::F);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Independent-set sweep over undecided points.
+    std::vector<index_t> NewC;
+    for (index_t I = 0; I < N; ++I) {
+      if (State[static_cast<std::size_t>(I)] != Unassigned)
+        continue;
+      double Mine = Measure[static_cast<std::size_t>(I)];
+      bool IsMax = true;
+      auto CheckNeighbors = [&](const CsrMatrix<double> &Graph) {
+        for (index_t J = Graph.RowPtr[I]; J < Graph.RowPtr[I + 1]; ++J) {
+          index_t Neighbor = Graph.ColIdx[J];
+          if (State[static_cast<std::size_t>(Neighbor)] == Unassigned &&
+              Measure[static_cast<std::size_t>(Neighbor)] > Mine)
+            return false;
+        }
+        return true;
+      };
+      IsMax = CheckNeighbors(S) && CheckNeighbors(St);
+      if (IsMax)
+        NewC.push_back(I);
+    }
+    for (index_t Point : NewC) {
+      if (State[static_cast<std::size_t>(Point)] != Unassigned)
+        continue;
+      State[static_cast<std::size_t>(Point)] =
+          static_cast<std::uint8_t>(CfPoint::C);
+      Changed = true;
+      // Undecided points that strongly depend on a new C point become F.
+      for (index_t I = St.RowPtr[Point]; I < St.RowPtr[Point + 1]; ++I) {
+        index_t Dependent = St.ColIdx[I];
+        if (State[static_cast<std::size_t>(Dependent)] == Unassigned) {
+          State[static_cast<std::size_t>(Dependent)] =
+              static_cast<std::uint8_t>(CfPoint::F);
+        }
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  // Anything left undecided (isolated cliques of equal measure cannot occur
+  // thanks to the random tie-breaker, but stay safe): make it C.
+  std::vector<CfPoint> Split(static_cast<std::size_t>(N));
+  for (index_t I = 0; I < N; ++I)
+    Split[static_cast<std::size_t>(I)] =
+        State[static_cast<std::size_t>(I)] ==
+                static_cast<std::uint8_t>(CfPoint::F)
+            ? CfPoint::F
+            : CfPoint::C;
+  return Split;
+}
+
+/// Second pass shared by both algorithms: any F point with at least one
+/// strong connection but no strong C neighbour is promoted to C so direct
+/// interpolation always has a donor.
+void enforceInterpolationCover(const CsrMatrix<double> &S,
+                               std::vector<CfPoint> &Split) {
+  for (index_t I = 0; I < S.NumRows; ++I) {
+    if (Split[static_cast<std::size_t>(I)] == CfPoint::C)
+      continue;
+    if (S.rowDegree(I) == 0)
+      continue; // Truly isolated; interpolates to zero correction.
+    bool HasCoarseDonor = false;
+    for (index_t J = S.RowPtr[I]; J < S.RowPtr[I + 1] && !HasCoarseDonor; ++J)
+      HasCoarseDonor =
+          Split[static_cast<std::size_t>(S.ColIdx[J])] == CfPoint::C;
+    if (!HasCoarseDonor)
+      Split[static_cast<std::size_t>(I)] = CfPoint::C;
+  }
+}
+
+} // namespace
+
+std::vector<CfPoint> smat::coarsen(const CsrMatrix<double> &S,
+                                   CoarsenKind Kind, std::uint64_t Seed) {
+  CsrMatrix<double> St = transposeCsr(S);
+  std::vector<CfPoint> Split = Kind == CoarsenKind::RugeL
+                                   ? coarsenRugeL(S, St)
+                                   : coarsenCljp(S, St, Seed);
+  enforceInterpolationCover(S, Split);
+  return Split;
+}
+
+index_t smat::countCoarse(const std::vector<CfPoint> &Split) {
+  index_t Count = 0;
+  for (CfPoint P : Split)
+    Count += P == CfPoint::C ? 1 : 0;
+  return Count;
+}

@@ -1,0 +1,54 @@
+//===- amg/Hierarchy.cpp - AMG grid hierarchy -----------------------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "amg/Hierarchy.h"
+
+#include "amg/Interp.h"
+#include "amg/SpGemm.h"
+#include "amg/Strength.h"
+#include "matrix/FormatConvert.h"
+
+using namespace smat;
+
+void AmgHierarchy::build(CsrMatrix<double> A, const HierarchyOptions &Opts) {
+  Levels.clear();
+  Levels.push_back(AmgLevel{std::move(A), {}, {}});
+
+  while (static_cast<int>(Levels.size()) < Opts.MaxLevels) {
+    AmgLevel &Fine = Levels.back();
+    index_t N = Fine.A.NumRows;
+    if (N <= Opts.MinCoarseSize)
+      break;
+
+    CsrMatrix<double> S = strengthGraph(Fine.A, Opts.StrengthTheta);
+    std::vector<CfPoint> Split =
+        coarsen(S, Opts.Coarsening, Opts.Seed + Levels.size());
+    index_t NumCoarse = countCoarse(Split);
+    if (NumCoarse == 0 || NumCoarse >= static_cast<index_t>(
+                                           Opts.MaxCoarseningRatio *
+                                           static_cast<double>(N)))
+      break; // Coarsening stalled.
+
+    CsrMatrix<double> P = directInterpolation(Fine.A, S, Split);
+    CsrMatrix<double> R = transposeCsr(P);
+    CsrMatrix<double> Coarse = galerkinProduct(R, Fine.A, P);
+    if (Opts.GalerkinDropTol > 0.0)
+      Coarse = dropSmallEntries(Coarse, Opts.GalerkinDropTol);
+
+    Fine.P = std::move(P);
+    Fine.R = std::move(R);
+    Levels.push_back(AmgLevel{std::move(Coarse), {}, {}});
+  }
+}
+
+double AmgHierarchy::operatorComplexity() const {
+  if (Levels.empty() || Levels.front().A.nnz() == 0)
+    return 0.0;
+  double Total = 0.0;
+  for (const AmgLevel &L : Levels)
+    Total += static_cast<double>(L.A.nnz());
+  return Total / static_cast<double>(Levels.front().A.nnz());
+}

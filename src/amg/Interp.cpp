@@ -1,0 +1,81 @@
+//===- amg/Interp.cpp - Direct interpolation ------------------------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "amg/Interp.h"
+
+#include <cmath>
+
+using namespace smat;
+
+CsrMatrix<double> smat::directInterpolation(const CsrMatrix<double> &A,
+                                            const CsrMatrix<double> &S,
+                                            const std::vector<CfPoint> &Split) {
+  index_t N = A.NumRows;
+  assert(Split.size() == static_cast<std::size_t>(N) &&
+         "splitting size mismatch");
+
+  // Coarse numbering.
+  std::vector<index_t> CoarseId(static_cast<std::size_t>(N), -1);
+  index_t NumCoarse = 0;
+  for (index_t I = 0; I < N; ++I)
+    if (Split[static_cast<std::size_t>(I)] == CfPoint::C)
+      CoarseId[static_cast<std::size_t>(I)] = NumCoarse++;
+
+  CsrMatrix<double> P(N, NumCoarse);
+
+  // Mark the strong C columns of the current row for O(1) membership tests.
+  std::vector<index_t> StrongCMark(static_cast<std::size_t>(N), -1);
+
+  for (index_t Row = 0; Row < N; ++Row) {
+    if (Split[static_cast<std::size_t>(Row)] == CfPoint::C) {
+      P.ColIdx.push_back(CoarseId[static_cast<std::size_t>(Row)]);
+      P.Values.push_back(1.0);
+      ++P.RowPtr[Row + 1];
+      continue;
+    }
+
+    // Strong C neighbours of this F row.
+    for (index_t J = S.RowPtr[Row]; J < S.RowPtr[Row + 1]; ++J) {
+      index_t Col = S.ColIdx[J];
+      if (Split[static_cast<std::size_t>(Col)] == CfPoint::C)
+        StrongCMark[static_cast<std::size_t>(Col)] = Row;
+    }
+
+    double Diag = 0.0, OffDiagSum = 0.0, StrongCSum = 0.0;
+    for (index_t J = A.RowPtr[Row]; J < A.RowPtr[Row + 1]; ++J) {
+      index_t Col = A.ColIdx[J];
+      double Val = A.Values[J];
+      if (Col == Row) {
+        Diag = Val;
+        continue;
+      }
+      OffDiagSum += Val;
+      if (StrongCMark[static_cast<std::size_t>(Col)] == Row)
+        StrongCSum += Val;
+    }
+
+    // Truly isolated F row (enforceInterpolationCover guarantees donors for
+    // every connected F point): contributes no coarse correction.
+    if (StrongCSum == 0.0 || Diag == 0.0)
+      continue;
+
+    double Alpha = OffDiagSum / StrongCSum;
+    for (index_t J = A.RowPtr[Row]; J < A.RowPtr[Row + 1]; ++J) {
+      index_t Col = A.ColIdx[J];
+      if (Col == Row || StrongCMark[static_cast<std::size_t>(Col)] != Row)
+        continue;
+      double Weight = -Alpha * A.Values[J] / Diag;
+      if (Weight == 0.0)
+        continue;
+      P.ColIdx.push_back(CoarseId[static_cast<std::size_t>(Col)]);
+      P.Values.push_back(Weight);
+      ++P.RowPtr[Row + 1];
+    }
+  }
+  for (index_t Row = 0; Row < N; ++Row)
+    P.RowPtr[Row + 1] += P.RowPtr[Row];
+  return P;
+}

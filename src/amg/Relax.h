@@ -1,0 +1,66 @@
+//===- amg/Relax.h - Smoothers and dense coarse solve -----------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relaxation methods for the AMG V-cycle. Weighted Jacobi is expressed in
+/// terms of a pluggable SpMV operator (x += omega * D^-1 * (b - A x)), so
+/// the solver's dominant cost is exactly the SpMV kernel SMAT tunes — the
+/// property the paper's Table 4 experiment relies on. Gauss–Seidel and a
+/// dense LU coarse-grid solve are also provided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_AMG_RELAX_H
+#define SMAT_AMG_RELAX_H
+
+#include "matrix/CsrMatrix.h"
+
+#include <functional>
+#include <vector>
+
+namespace smat {
+
+/// A bound y := A*x operator (either a plain CSR kernel or a SMAT-tuned
+/// kernel).
+using SpmvFn = std::function<void(const double *X, double *Y)>;
+
+/// Extracts the diagonal of \p A (zeros where absent).
+std::vector<double> extractDiagonal(const CsrMatrix<double> &A);
+
+/// One weighted-Jacobi sweep: X += Omega * D^-1 * (B - A*X), with the A*X
+/// product supplied by \p Spmv and \p Scratch an N-sized work array.
+void jacobiSweep(const SpmvFn &Spmv, const std::vector<double> &InvDiag,
+                 const double *B, double *X, double *Scratch, index_t N,
+                 double Omega);
+
+/// One forward Gauss–Seidel sweep on \p A (used for comparison smoothing;
+/// inherently sequential, no SpMV involved).
+void gaussSeidelSweep(const CsrMatrix<double> &A, const double *B, double *X);
+
+/// Residual R = B - A*X via \p Spmv.
+void residual(const SpmvFn &Spmv, const double *B, const double *X, double *R,
+              index_t N);
+
+/// Dense LU solver for the coarsest grid.
+class DenseLu {
+public:
+  /// Factors \p A (partial pivoting). \p A must be square and small.
+  void factor(const CsrMatrix<double> &A);
+
+  /// Solves A*X = B in place: X starts as B.
+  void solve(double *X) const;
+
+  index_t size() const { return N; }
+
+private:
+  index_t N = 0;
+  std::vector<double> Lu;    ///< Row-major packed factors.
+  std::vector<index_t> Perm; ///< Pivot row permutation.
+};
+
+} // namespace smat
+
+#endif // SMAT_AMG_RELAX_H

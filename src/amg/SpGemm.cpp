@@ -1,0 +1,92 @@
+//===- amg/SpGemm.cpp - Sparse matrix-matrix products ---------------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "amg/SpGemm.h"
+
+#include "matrix/FormatConvert.h"
+
+#include <algorithm>
+
+using namespace smat;
+
+template <typename T>
+CsrMatrix<T> smat::spgemm(const CsrMatrix<T> &A, const CsrMatrix<T> &B) {
+  assert(A.NumCols == B.NumRows && "spgemm shape mismatch");
+  CsrMatrix<T> C(A.NumRows, B.NumCols);
+
+  // Gustavson with a dense accumulator and row-stamped marker, both reused
+  // across rows (the marker makes exact mid-row cancellation harmless).
+  std::vector<T> Accumulator(static_cast<std::size_t>(B.NumCols), T(0));
+  std::vector<index_t> Marker(static_cast<std::size_t>(B.NumCols), -1);
+  std::vector<index_t> Pattern; // Touched columns of the current row.
+
+  for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    Pattern.clear();
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
+      index_t K = A.ColIdx[I];
+      T AVal = A.Values[I];
+      for (index_t J = B.RowPtr[K]; J < B.RowPtr[K + 1]; ++J) {
+        index_t Col = B.ColIdx[J];
+        if (Marker[static_cast<std::size_t>(Col)] != Row) {
+          Marker[static_cast<std::size_t>(Col)] = Row;
+          Pattern.push_back(Col);
+          Accumulator[static_cast<std::size_t>(Col)] = AVal * B.Values[J];
+        } else {
+          Accumulator[static_cast<std::size_t>(Col)] += AVal * B.Values[J];
+        }
+      }
+    }
+    std::sort(Pattern.begin(), Pattern.end());
+    for (index_t Col : Pattern) {
+      T Val = Accumulator[static_cast<std::size_t>(Col)];
+      C.ColIdx.push_back(Col);
+      C.Values.push_back(Val);
+      ++C.RowPtr[Row + 1];
+    }
+  }
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    C.RowPtr[Row + 1] += C.RowPtr[Row];
+  return C;
+}
+
+template <typename T>
+CsrMatrix<T> smat::galerkinProduct(const CsrMatrix<T> &R, const CsrMatrix<T> &A,
+                                   const CsrMatrix<T> &P) {
+  return spgemm(spgemm(R, A), P);
+}
+
+template <typename T>
+CsrMatrix<T> smat::dropSmallEntries(const CsrMatrix<T> &A, T Threshold) {
+  CsrMatrix<T> B(A.NumRows, A.NumCols);
+  for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
+      T Val = A.Values[I];
+      if (A.ColIdx[I] != Row && std::abs(Val) <= Threshold)
+        continue;
+      B.ColIdx.push_back(A.ColIdx[I]);
+      B.Values.push_back(Val);
+      ++B.RowPtr[Row + 1];
+    }
+  }
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    B.RowPtr[Row + 1] += B.RowPtr[Row];
+  return B;
+}
+
+template CsrMatrix<float> smat::spgemm(const CsrMatrix<float> &,
+                                       const CsrMatrix<float> &);
+template CsrMatrix<double> smat::spgemm(const CsrMatrix<double> &,
+                                        const CsrMatrix<double> &);
+template CsrMatrix<float> smat::galerkinProduct(const CsrMatrix<float> &,
+                                                const CsrMatrix<float> &,
+                                                const CsrMatrix<float> &);
+template CsrMatrix<double> smat::galerkinProduct(const CsrMatrix<double> &,
+                                                 const CsrMatrix<double> &,
+                                                 const CsrMatrix<double> &);
+template CsrMatrix<float> smat::dropSmallEntries(const CsrMatrix<float> &,
+                                                 float);
+template CsrMatrix<double> smat::dropSmallEntries(const CsrMatrix<double> &,
+                                                  double);

@@ -1,0 +1,54 @@
+//===- amg/SpGemm.h - Sparse matrix-matrix products -------------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CSR sparse matrix-matrix multiplication (Gustavson's algorithm) and the
+/// Galerkin triple product R*A*P that builds AMG coarse-grid operators —
+/// the machinery that produces the level-by-level structure drift shown in
+/// paper Figure 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_AMG_SPGEMM_H
+#define SMAT_AMG_SPGEMM_H
+
+#include "matrix/CsrMatrix.h"
+
+namespace smat {
+
+/// C = A * B (Gustavson row-merge). Column indices of each output row are
+/// sorted. Requires A.NumCols == B.NumRows.
+template <typename T>
+CsrMatrix<T> spgemm(const CsrMatrix<T> &A, const CsrMatrix<T> &B);
+
+/// The Galerkin product A_c = R * A * P.
+template <typename T>
+CsrMatrix<T> galerkinProduct(const CsrMatrix<T> &R, const CsrMatrix<T> &A,
+                             const CsrMatrix<T> &P);
+
+/// Drops entries with |value| <= Threshold (never the diagonal); used to
+/// keep coarse operators from densifying.
+template <typename T>
+CsrMatrix<T> dropSmallEntries(const CsrMatrix<T> &A, T Threshold);
+
+extern template CsrMatrix<float> spgemm(const CsrMatrix<float> &,
+                                        const CsrMatrix<float> &);
+extern template CsrMatrix<double> spgemm(const CsrMatrix<double> &,
+                                         const CsrMatrix<double> &);
+extern template CsrMatrix<float> galerkinProduct(const CsrMatrix<float> &,
+                                                 const CsrMatrix<float> &,
+                                                 const CsrMatrix<float> &);
+extern template CsrMatrix<double> galerkinProduct(const CsrMatrix<double> &,
+                                                  const CsrMatrix<double> &,
+                                                  const CsrMatrix<double> &);
+extern template CsrMatrix<float> dropSmallEntries(const CsrMatrix<float> &,
+                                                  float);
+extern template CsrMatrix<double> dropSmallEntries(const CsrMatrix<double> &,
+                                                   double);
+
+} // namespace smat
+
+#endif // SMAT_AMG_SPGEMM_H

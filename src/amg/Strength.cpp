@@ -1,0 +1,36 @@
+//===- amg/Strength.cpp - Strength-of-connection graph --------------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "amg/Strength.h"
+
+#include <cmath>
+
+using namespace smat;
+
+CsrMatrix<double> smat::strengthGraph(const CsrMatrix<double> &A,
+                                      double Theta) {
+  assert(A.NumRows == A.NumCols && "strength graph needs a square operator");
+  CsrMatrix<double> S(A.NumRows, A.NumCols);
+
+  for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    double MaxOffDiag = 0.0;
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I)
+      if (A.ColIdx[I] != Row)
+        MaxOffDiag = std::max(MaxOffDiag, std::abs(A.Values[I]));
+    double Bar = Theta * MaxOffDiag;
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
+      index_t Col = A.ColIdx[I];
+      if (Col == Row || std::abs(A.Values[I]) < Bar || MaxOffDiag == 0.0)
+        continue;
+      S.ColIdx.push_back(Col);
+      S.Values.push_back(1.0);
+      ++S.RowPtr[Row + 1];
+    }
+  }
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    S.RowPtr[Row + 1] += S.RowPtr[Row];
+  return S;
+}

@@ -1,0 +1,126 @@
+//===- core/FeatureDatabase.cpp - Trained feature records -----------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FeatureDatabase.h"
+
+#include "support/Str.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace smat;
+
+Dataset FeatureDatabase::toDataset() const {
+  Dataset Data;
+  Data.Samples.reserve(Records.size());
+  for (const FeatureRecord &R : Records) {
+    Sample S;
+    S.X = R.Features.values();
+    S.Label = R.BestFormat;
+    S.Name = R.Name;
+    Data.Samples.push_back(std::move(S));
+  }
+  return Data;
+}
+
+std::array<std::size_t, NumFormats> FeatureDatabase::formatDistribution() const {
+  std::array<std::size_t, NumFormats> Counts{};
+  for (const FeatureRecord &R : Records)
+    ++Counts[static_cast<int>(R.BestFormat)];
+  return Counts;
+}
+
+std::string FeatureDatabase::toCsv() const {
+  std::string Out = "name,domain";
+  for (int F = 0; F < NumFeatures; ++F)
+    Out += formatString(",%s", featureName(F));
+  for (int K = 0; K < NumFormats; ++K)
+    Out += formatString(",gflops_%s",
+                        std::string(formatName(static_cast<FormatKind>(K)))
+                            .c_str());
+  Out += ",best_format\n";
+
+  for (const FeatureRecord &R : Records) {
+    Out += R.Name + "," + R.Domain;
+    for (double V : R.Features.values())
+      Out += formatString(",%.17g", V);
+    for (double G : R.Gflops)
+      Out += formatString(",%.17g", G);
+    Out += "," + std::string(formatName(R.BestFormat)) + "\n";
+  }
+  return Out;
+}
+
+bool FeatureDatabase::parseCsv(const std::string &Text, FeatureDatabase &Db,
+                               std::string &Error) {
+  Db.Records.clear();
+  std::istringstream In(Text);
+  std::string Line;
+  if (!std::getline(In, Line)) {
+    Error = "empty CSV";
+    return false;
+  }
+  constexpr std::size_t ExpectedColumns = 2 + NumFeatures + NumFormats + 1;
+  while (std::getline(In, Line)) {
+    if (trim(Line).empty())
+      continue;
+    auto Cells = split(Line, ',', /*KeepEmpty=*/true);
+    if (Cells.size() != ExpectedColumns) {
+      Error = "bad column count in row: '" + Line + "'";
+      return false;
+    }
+    FeatureRecord R;
+    R.Name = Cells[0];
+    R.Domain = Cells[1];
+    std::array<double, NumFeatures> Values{};
+    for (int F = 0; F < NumFeatures; ++F)
+      Values[static_cast<std::size_t>(F)] =
+          std::strtod(Cells[2 + static_cast<std::size_t>(F)].c_str(), nullptr);
+    R.Features.M = Values[FeatM];
+    R.Features.N = Values[FeatN];
+    R.Features.Ndiags = Values[FeatNdiags];
+    R.Features.NTdiagsRatio = Values[FeatNTdiagsRatio];
+    R.Features.Nnz = Values[FeatNnz];
+    R.Features.MaxRd = Values[FeatMaxRd];
+    R.Features.AverRd = Values[FeatAverRd];
+    R.Features.VarRd = Values[FeatVarRd];
+    R.Features.ErDia = Values[FeatErDia];
+    R.Features.ErEll = Values[FeatErEll];
+    R.Features.ErBsr = Values[FeatErBsr];
+    R.Features.R = Values[FeatR];
+    for (int K = 0; K < NumFormats; ++K)
+      R.Gflops[static_cast<std::size_t>(K)] = std::strtod(
+          Cells[2 + NumFeatures + static_cast<std::size_t>(K)].c_str(),
+          nullptr);
+    if (!parseFormatName(Cells.back(), R.BestFormat)) {
+      Error = "bad best_format in row: '" + Line + "'";
+      return false;
+    }
+    Db.Records.push_back(std::move(R));
+  }
+  return true;
+}
+
+bool FeatureDatabase::saveCsvFile(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << toCsv();
+  return static_cast<bool>(Out);
+}
+
+bool FeatureDatabase::loadCsvFile(const std::string &Path, FeatureDatabase &Db,
+                                  std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open file '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return parseCsv(Buffer.str(), Db, Error);
+}

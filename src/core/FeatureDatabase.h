@@ -1,0 +1,70 @@
+//===- core/FeatureDatabase.h - Trained feature records ---------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The matrix feature database (paper Figure 4): one record per training
+/// matrix holding its feature parameter values, the measured per-format
+/// GFLOPS, and the winning "Best_Format" label. The data mining stage turns
+/// this database into the learning model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_CORE_FEATUREDATABASE_H
+#define SMAT_CORE_FEATUREDATABASE_H
+
+#include "features/FeatureExtractor.h"
+#include "ml/Dataset.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace smat {
+
+/// One trained record (the paper's example: matrix t2d_q9 has the record
+/// {9801, 9801, 9, 1.0, 87025, 9, 0.35, 0.99, 0.99, inf, DIA}).
+struct FeatureRecord {
+  std::string Name;
+  std::string Domain;
+  FeatureVector Features;
+  /// Best-kernel GFLOPS per format (FormatKind-indexed); negative when the
+  /// format was rejected by its fill guard or disabled in training.
+  std::array<double, NumFormats> Gflops = [] {
+    std::array<double, NumFormats> Init;
+    Init.fill(-1.0);
+    return Init;
+  }();
+  FormatKind BestFormat = FormatKind::CSR;
+};
+
+/// The collected records plus conversions to learner input and CSV.
+struct FeatureDatabase {
+  std::vector<FeatureRecord> Records;
+
+  std::size_t size() const { return Records.size(); }
+
+  /// Projects the records onto the learner's (attributes, label) form.
+  Dataset toDataset() const;
+
+  /// Per-format counts of winning records (Table 1's bottom row).
+  std::array<std::size_t, NumFormats> formatDistribution() const;
+
+  /// CSV rendering: one row per record, feature columns then GFLOPS then
+  /// label. Round-trips through parseCsv.
+  std::string toCsv() const;
+
+  /// Parses toCsv output. \returns true on success.
+  static bool parseCsv(const std::string &Text, FeatureDatabase &Db,
+                       std::string &Error);
+
+  bool saveCsvFile(const std::string &Path) const;
+  static bool loadCsvFile(const std::string &Path, FeatureDatabase &Db,
+                          std::string &Error);
+};
+
+} // namespace smat
+
+#endif // SMAT_CORE_FEATUREDATABASE_H

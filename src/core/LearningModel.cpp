@@ -1,0 +1,118 @@
+//===- core/LearningModel.cpp - The trained SMAT model --------------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LearningModel.h"
+
+#include "ml/ModelIO.h"
+#include "support/Str.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace smat;
+
+void LearningModel::refreshRuleMetadata() {
+  GroupUsesR.fill(false);
+  for (const Rule &R : Rules.Rules)
+    for (const Condition &C : R.Conditions)
+      if (C.Feature == FeatR)
+        GroupUsesR[static_cast<int>(R.Format)] = true;
+}
+
+std::string smat::serializeModel(const LearningModel &Model) {
+  std::string Out = "SMAT-MODEL v1\n";
+  Out += formatString("threshold %.17g\n", Model.ConfidenceThreshold);
+  Out += formatString("bsr %d\n", Model.BsrEnabled ? 1 : 0);
+  for (int K = 0; K < NumFormats; ++K)
+    Out += formatString(
+        "kernel %s %d %s\n",
+        std::string(formatName(static_cast<FormatKind>(K))).c_str(),
+        Model.Kernels.BestKernel[static_cast<std::size_t>(K)],
+        Model.Kernels.BestKernelName[static_cast<std::size_t>(K)].c_str());
+  Out += serializeRuleSet(Model.Rules);
+  return Out;
+}
+
+bool smat::parseModel(const std::string &Text, LearningModel &Model,
+                      std::string &Error) {
+  Model = LearningModel();
+  std::istringstream In(Text);
+  std::string Line;
+
+  if (!std::getline(In, Line) || trim(Line) != "SMAT-MODEL v1") {
+    Error = "missing SMAT-MODEL v1 header";
+    return false;
+  }
+  if (!std::getline(In, Line)) {
+    Error = "missing threshold line";
+    return false;
+  }
+  auto ThresholdParts = splitWhitespace(Line);
+  if (ThresholdParts.size() != 2 || ThresholdParts[0] != "threshold") {
+    Error = "malformed threshold line: '" + Line + "'";
+    return false;
+  }
+  Model.ConfidenceThreshold = std::strtod(ThresholdParts[1].c_str(), nullptr);
+
+  if (!std::getline(In, Line)) {
+    Error = "missing bsr line";
+    return false;
+  }
+  auto BsrParts = splitWhitespace(Line);
+  if (BsrParts.size() != 2 || BsrParts[0] != "bsr") {
+    Error = "malformed bsr line: '" + Line + "'";
+    return false;
+  }
+  Model.BsrEnabled = BsrParts[1] == "1";
+
+  for (int K = 0; K < NumFormats; ++K) {
+    if (!std::getline(In, Line)) {
+      Error = "missing kernel line";
+      return false;
+    }
+    auto KernelParts = splitWhitespace(Line);
+    FormatKind Kind;
+    if (KernelParts.size() != 4 || KernelParts[0] != "kernel" ||
+        !parseFormatName(KernelParts[1], Kind)) {
+      Error = "malformed kernel line: '" + Line + "'";
+      return false;
+    }
+    int Idx = static_cast<int>(Kind);
+    Model.Kernels.BestKernel[static_cast<std::size_t>(Idx)] =
+        static_cast<int>(std::strtol(KernelParts[2].c_str(), nullptr, 10));
+    Model.Kernels.BestKernelName[static_cast<std::size_t>(Idx)] =
+        KernelParts[3];
+  }
+
+  // The remainder of the stream is the ruleset.
+  std::ostringstream Rest;
+  Rest << In.rdbuf();
+  if (!parseRuleSet(Rest.str(), Model.Rules, Error))
+    return false;
+  Model.refreshRuleMetadata();
+  return true;
+}
+
+bool smat::saveModelFile(const std::string &Path, const LearningModel &Model) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << serializeModel(Model);
+  return static_cast<bool>(Out);
+}
+
+bool smat::loadModelFile(const std::string &Path, LearningModel &Model,
+                         std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open file '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return parseModel(Buffer.str(), Model, Error);
+}

@@ -1,0 +1,152 @@
+//===- core/Smat.h - The SMAT runtime auto-tuner ----------------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-line stage of SMAT (paper Section 6 / Figure 7) and the unified
+/// programming interface (paper Figure 5): the user hands over a CSR matrix
+/// and receives a tuned SpMV — feature extraction, confidence-gated ruleset
+/// prediction, optional execute-and-measure fallback, format conversion, and
+/// optimal-kernel binding all happen behind `SMAT_xCSR_SpMV`.
+///
+/// Typical usage:
+/// \code
+///   smat::Smat<double> Tuner(Model);            // model trained off-line
+///   smat::TunedSpmv<double> Op = Tuner.tune(A); // A: CsrMatrix<double>
+///   Op.apply(X.data(), Y.data());               // y := A*x, tuned kernel
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_CORE_SMAT_H
+#define SMAT_CORE_SMAT_H
+
+#include "core/LearningModel.h"
+#include "matrix/FormatConvert.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smat {
+
+/// What the tuner did for one matrix: the Table-3 trace columns.
+struct TuningReport {
+  FeatureVector Features;
+  /// Ruleset outcome.
+  FormatKind ModelPrediction = FormatKind::CSR;
+  double ModelConfidence = 0.0;
+  bool ModelConfident = false;
+  /// Execute-and-measure outcome (empty when the model was confident).
+  std::vector<std::pair<FormatKind, double>> MeasuredGflops;
+  /// Final decision.
+  FormatKind ChosenFormat = FormatKind::CSR;
+  std::string KernelName;
+  /// Overhead accounting: total tuning seconds and the equivalent number of
+  /// basic CSR-SpMV executions (the paper's "times of CSR-SpMV" metric).
+  double TuneSeconds = 0.0;
+  double CsrSpmvSeconds = 0.0;
+
+  double overheadRatio() const {
+    return CsrSpmvSeconds > 0 ? TuneSeconds / CsrSpmvSeconds : 0.0;
+  }
+};
+
+/// Tuning knobs for one tune() call.
+struct TuneOptions {
+  /// Permit the execute-and-measure fallback (paper Figure 7's
+  /// "< threshold" path). When false, low-confidence predictions are used
+  /// as-is.
+  bool AllowMeasure = true;
+  /// Force execute-and-measure even for confident predictions (used by the
+  /// accuracy analysis to recover the ground-truth best format).
+  bool ForceMeasure = false;
+  /// Measurement floor per candidate during execute-and-measure.
+  double MeasureMinSeconds = 5e-4;
+};
+
+/// A tuned SpMV operator bound to one matrix.
+///
+/// Owns the converted COO/DIA/ELL storage. When the chosen format is CSR the
+/// operator references the caller's matrix instead of copying it, so the
+/// input CsrMatrix must outlive the TunedSpmv (the usual pattern: tune once,
+/// apply in a solver loop, drop both together).
+template <typename T> class TunedSpmv {
+public:
+  /// \returns the chosen storage format.
+  FormatKind format() const { return Report.ChosenFormat; }
+
+  /// \returns the bound kernel's name.
+  const std::string &kernelName() const { return Report.KernelName; }
+
+  /// \returns the full tuning trace.
+  const TuningReport &report() const { return Report; }
+
+  /// Computes y := A*x with the tuned (format, kernel) pair.
+  /// \p X must have numCols() elements, \p Y numRows().
+  void apply(const T *X, T *Y) const;
+
+  index_t numRows() const { return NumRows; }
+  index_t numCols() const { return NumCols; }
+  std::int64_t nnz() const { return Nnz; }
+
+private:
+  template <typename U> friend class Smat;
+
+  TuningReport Report;
+  index_t NumRows = 0, NumCols = 0;
+  std::int64_t Nnz = 0;
+
+  // Exactly one of these is active, per Report.ChosenFormat.
+  const CsrMatrix<T> *Csr = nullptr; ///< Borrowed from the caller.
+  std::unique_ptr<CooMatrix<T>> Coo;
+  std::unique_ptr<DiaMatrix<T>> Dia;
+  std::unique_ptr<EllMatrix<T>> Ell;
+  std::unique_ptr<BsrMatrix<T>> Bsr;
+
+  CsrKernelFn<T> CsrFn = nullptr;
+  CooKernelFn<T> CooFn = nullptr;
+  DiaKernelFn<T> DiaFn = nullptr;
+  EllKernelFn<T> EllFn = nullptr;
+  BsrKernelFn<T> BsrFn = nullptr;
+};
+
+/// The SMAT auto-tuner: one instance per trained model (reused across
+/// matrices, the paper's reusability property).
+template <typename T> class Smat {
+public:
+  explicit Smat(LearningModel ModelIn) : Model(std::move(ModelIn)) {
+    Model.refreshRuleMetadata();
+  }
+
+  /// Loads a model file produced by saveModelFile.
+  static Smat fromFile(const std::string &Path);
+
+  const LearningModel &model() const { return Model; }
+
+  /// Tunes SpMV for \p A: the complete runtime procedure of paper Figure 7.
+  /// \p A must outlive the returned operator (see TunedSpmv).
+  TunedSpmv<T> tune(const CsrMatrix<T> &A,
+                    const TuneOptions &Opts = TuneOptions()) const;
+
+private:
+  LearningModel Model;
+};
+
+extern template class TunedSpmv<float>;
+extern template class TunedSpmv<double>;
+extern template class Smat<float>;
+extern template class Smat<double>;
+
+/// The paper's unified C-style interface (Figure 5): one call, CSR in,
+/// tuned SpMV out. 'd'/'s' select double/single precision.
+TunedSpmv<double> SMAT_dCSR_SpMV(const Smat<double> &Tuner,
+                                 const CsrMatrix<double> &A);
+TunedSpmv<float> SMAT_sCSR_SpMV(const Smat<float> &Tuner,
+                                const CsrMatrix<float> &A);
+
+} // namespace smat
+
+#endif // SMAT_CORE_SMAT_H

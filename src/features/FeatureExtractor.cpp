@@ -1,0 +1,178 @@
+//===- features/FeatureExtractor.cpp - Table-2 feature parameters ---------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "features/FeatureExtractor.h"
+
+#include "support/Compiler.h"
+#include "matrix/FormatConvert.h"
+#include "support/Stats.h"
+#include "support/Str.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace smat;
+
+const char *smat::featureName(int Index) {
+  switch (Index) {
+  case FeatM:
+    return "M";
+  case FeatN:
+    return "N";
+  case FeatNdiags:
+    return "Ndiags";
+  case FeatNTdiagsRatio:
+    return "NTdiags_ratio";
+  case FeatNnz:
+    return "NNZ";
+  case FeatMaxRd:
+    return "max_RD";
+  case FeatAverRd:
+    return "aver_RD";
+  case FeatVarRd:
+    return "var_RD";
+  case FeatErDia:
+    return "ER_DIA";
+  case FeatErEll:
+    return "ER_ELL";
+  case FeatErBsr:
+    return "ER_BSR";
+  case FeatR:
+    return "R";
+  }
+  smatUnreachable("invalid feature index");
+}
+
+std::string FeatureVector::toString() const {
+  return formatString(
+      "{M=%g N=%g Ndiags=%g NTdiags_ratio=%.3f NNZ=%g max_RD=%g aver_RD=%.3f "
+      "var_RD=%.3f ER_DIA=%.3f ER_ELL=%.3f ER_BSR=%.3f R=%s}",
+      M, N, Ndiags, NTdiagsRatio, Nnz, MaxRd, AverRd, VarRd, ErDia, ErEll,
+      ErBsr, R >= FeatureInf ? "inf" : formatString("%.3f", R).c_str());
+}
+
+template <typename T>
+FeatureVector smat::extractStructureFeatures(const CsrMatrix<T> &A) {
+  FeatureVector F;
+  F.M = static_cast<double>(A.NumRows);
+  F.N = static_cast<double>(A.NumCols);
+  F.Nnz = static_cast<double>(A.nnz());
+
+  if (A.NumRows == 0) {
+    F.AverRd = F.MaxRd = F.VarRd = 0;
+    return F;
+  }
+
+  // Single pass: per-row degrees and the per-diagonal occupancy histogram
+  // (the paper counts diagonals and nonzero distribution together to avoid
+  // a second traversal).
+  std::vector<index_t> DiagCount(
+      static_cast<std::size_t>(A.NumRows) + static_cast<std::size_t>(A.NumCols),
+      0);
+  double SumDeg = 0, MaxDeg = 0;
+  for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    index_t Deg = A.rowDegree(Row);
+    SumDeg += Deg;
+    MaxDeg = std::max(MaxDeg, static_cast<double>(Deg));
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I)
+      ++DiagCount[static_cast<std::size_t>(A.ColIdx[I]) - Row + A.NumRows - 1];
+  }
+  F.AverRd = SumDeg / F.M;
+  F.MaxRd = MaxDeg;
+
+  double VarSum = 0;
+  for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    double Delta = static_cast<double>(A.rowDegree(Row)) - F.AverRd;
+    VarSum += Delta * Delta;
+  }
+  F.VarRd = VarSum / F.M;
+
+  // Diagonal situation: Ndiags and the "true diagonal" ratio. A diagonal is
+  // "true" when it is mostly occupied (>= TrueDiagOccupancy of its length).
+  index_t Ndiags = 0, TrueDiags = 0;
+  for (std::size_t Slot = 0; Slot != DiagCount.size(); ++Slot) {
+    if (DiagCount[Slot] == 0)
+      continue;
+    ++Ndiags;
+    index_t Offset =
+        static_cast<index_t>(Slot) - (A.NumRows - 1);
+    index_t Length = std::min(A.NumRows, A.NumCols - Offset) -
+                     std::max(index_t(0), -Offset);
+    if (Length > 0 && static_cast<double>(DiagCount[Slot]) >=
+                          TrueDiagOccupancy * static_cast<double>(Length))
+      ++TrueDiags;
+  }
+  F.Ndiags = static_cast<double>(Ndiags);
+  F.NTdiagsRatio =
+      Ndiags > 0 ? static_cast<double>(TrueDiags) / static_cast<double>(Ndiags)
+                 : 0.0;
+
+  F.ErDia = (Ndiags > 0 && F.M > 0) ? F.Nnz / (F.Ndiags * F.M) : 0.0;
+  F.ErEll = (F.MaxRd > 0 && F.M > 0) ? F.Nnz / (F.MaxRd * F.M) : 0.0;
+
+  // BSR fill efficiency for the canonical 4x4 tiling (the extension
+  // format's signature feature; one extra O(nnz) pass).
+  if (F.Nnz > 0) {
+    std::int64_t Blocks = countOccupiedBlocks(A, 4);
+    F.ErBsr = Blocks > 0 ? F.Nnz / (static_cast<double>(Blocks) * 16.0) : 0.0;
+  }
+  return F;
+}
+
+template <typename T>
+void smat::extractPowerLawFeature(const CsrMatrix<T> &A,
+                                  FeatureVector &Features) {
+  Features.R = FeatureInf;
+  if (A.NumRows == 0 || A.nnz() == 0)
+    return;
+
+  // Degree histogram P(k): count of rows with degree k (k >= 1).
+  std::map<index_t, double> Histogram;
+  for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    index_t Deg = A.rowDegree(Row);
+    if (Deg >= 1)
+      ++Histogram[Deg];
+  }
+  // A power law needs a spread of degrees; near-regular matrices have no
+  // scale-free structure at all -> "inf", exactly like the paper's t2d_q9
+  // training record.
+  if (Histogram.size() < 3)
+    return;
+
+  std::vector<double> LogK, LogP;
+  double Rows = static_cast<double>(A.NumRows);
+  for (const auto &[Deg, Count] : Histogram) {
+    LogK.push_back(std::log(static_cast<double>(Deg)));
+    LogP.push_back(std::log(Count / Rows));
+  }
+  double Slope = 0, Intercept = 0;
+  if (!leastSquaresFit(LogK, LogP, Slope, Intercept))
+    return;
+
+  // Require the fit to actually explain the distribution (R^2 >= 0.5);
+  // otherwise the degree structure is not scale-free.
+  double MeanLogP = mean(LogP);
+  double SsTot = 0, SsRes = 0;
+  for (std::size_t I = 0; I != LogK.size(); ++I) {
+    double Fit = Slope * LogK[I] + Intercept;
+    SsTot += (LogP[I] - MeanLogP) * (LogP[I] - MeanLogP);
+    SsRes += (LogP[I] - Fit) * (LogP[I] - Fit);
+  }
+  if (SsTot <= 0 || SsRes / SsTot > 0.5)
+    return;
+  double R = -Slope;
+  if (R <= 0) // Degrees growing more frequent with size: not a power law.
+    return;
+  Features.R = R;
+}
+
+template FeatureVector smat::extractStructureFeatures(const CsrMatrix<float> &);
+template FeatureVector smat::extractStructureFeatures(const CsrMatrix<double> &);
+template void smat::extractPowerLawFeature(const CsrMatrix<float> &,
+                                           FeatureVector &);
+template void smat::extractPowerLawFeature(const CsrMatrix<double> &,
+                                           FeatureVector &);

@@ -1,0 +1,179 @@
+//===- kernels/EllKernels.cpp - ELL SpMV kernel variants ------------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// ELL y := A*x variants. The basic loop is the paper's Figure 2(d):
+// column-of-the-packed-matrix outer loop, row inner loop. Padding entries
+// are (value 0, column 0), so they can be multiplied unconditionally.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelRegistry.h"
+#include "support/Compiler.h"
+
+#include <cstring>
+
+namespace smat {
+namespace {
+
+template <typename T>
+void ellZero(T *SMAT_RESTRICT Y, index_t N) {
+  std::memset(Y, 0, sizeof(T) * static_cast<std::size_t>(N));
+}
+
+template <typename T>
+void ellBasic(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
+              T *SMAT_RESTRICT Y) {
+  ellZero(Y, A.NumRows);
+  for (index_t C = 0; C < A.Width; ++C) {
+    const T *SMAT_RESTRICT Data =
+        A.Data.data() + static_cast<std::size_t>(C) * A.NumRows;
+    const index_t *SMAT_RESTRICT Idx =
+        A.Indices.data() + static_cast<std::size_t>(C) * A.NumRows;
+    for (index_t Row = 0; Row < A.NumRows; ++Row)
+      Y[Row] += Data[Row] * X[Idx[Row]];
+  }
+}
+
+/// Explicit vectorization of the column-major pass (contiguous loads from
+/// Data/Indices, gather from X).
+template <typename T>
+void ellSimd(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
+             T *SMAT_RESTRICT Y) {
+  ellZero(Y, A.NumRows);
+  for (index_t C = 0; C < A.Width; ++C) {
+    const T *SMAT_RESTRICT Data =
+        A.Data.data() + static_cast<std::size_t>(C) * A.NumRows;
+    const index_t *SMAT_RESTRICT Idx =
+        A.Indices.data() + static_cast<std::size_t>(C) * A.NumRows;
+#pragma omp simd
+    for (index_t Row = 0; Row < A.NumRows; ++Row)
+      Y[Row] += Data[Row] * X[Idx[Row]];
+  }
+}
+
+/// Loop interchange: per-row accumulation (one Y store per row, strided
+/// loads from the packed matrix).
+template <typename T>
+void ellRowMajor(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
+                 T *SMAT_RESTRICT Y) {
+  for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    T Sum = T(0);
+    for (index_t C = 0; C < A.Width; ++C) {
+      std::size_t I = static_cast<std::size_t>(C) * A.NumRows + Row;
+      Sum += A.Data[I] * X[A.Indices[I]];
+    }
+    Y[Row] = Sum;
+  }
+}
+
+/// Column-major pass with two packed columns per sweep: halves Y traffic.
+template <typename T>
+void ellUnroll2(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
+                T *SMAT_RESTRICT Y) {
+  ellZero(Y, A.NumRows);
+  index_t C = 0;
+  for (; C + 1 < A.Width; C += 2) {
+    const T *SMAT_RESTRICT Data0 =
+        A.Data.data() + static_cast<std::size_t>(C) * A.NumRows;
+    const T *SMAT_RESTRICT Data1 = Data0 + A.NumRows;
+    const index_t *SMAT_RESTRICT Idx0 =
+        A.Indices.data() + static_cast<std::size_t>(C) * A.NumRows;
+    const index_t *SMAT_RESTRICT Idx1 = Idx0 + A.NumRows;
+    for (index_t Row = 0; Row < A.NumRows; ++Row)
+      Y[Row] += Data0[Row] * X[Idx0[Row]] + Data1[Row] * X[Idx1[Row]];
+  }
+  for (; C < A.Width; ++C) {
+    const T *SMAT_RESTRICT Data =
+        A.Data.data() + static_cast<std::size_t>(C) * A.NumRows;
+    const index_t *SMAT_RESTRICT Idx =
+        A.Indices.data() + static_cast<std::size_t>(C) * A.NumRows;
+    for (index_t Row = 0; Row < A.NumRows; ++Row)
+      Y[Row] += Data[Row] * X[Idx[Row]];
+  }
+}
+
+/// Row-partitioned threading over the interchange (row-major) loop.
+template <typename T>
+void ellOmpRows(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
+                T *SMAT_RESTRICT Y) {
+#pragma omp parallel for schedule(static)
+  for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    T Sum = T(0);
+    for (index_t C = 0; C < A.Width; ++C) {
+      std::size_t I = static_cast<std::size_t>(C) * A.NumRows + Row;
+      Sum += A.Data[I] * X[A.Indices[I]];
+    }
+    Y[Row] = Sum;
+  }
+}
+
+/// SIMD + unrolled column-major combination.
+template <typename T>
+void ellSimdUnroll2(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
+                    T *SMAT_RESTRICT Y) {
+  ellZero(Y, A.NumRows);
+  index_t C = 0;
+  for (; C + 1 < A.Width; C += 2) {
+    const T *SMAT_RESTRICT Data0 =
+        A.Data.data() + static_cast<std::size_t>(C) * A.NumRows;
+    const T *SMAT_RESTRICT Data1 = Data0 + A.NumRows;
+    const index_t *SMAT_RESTRICT Idx0 =
+        A.Indices.data() + static_cast<std::size_t>(C) * A.NumRows;
+    const index_t *SMAT_RESTRICT Idx1 = Idx0 + A.NumRows;
+#pragma omp simd
+    for (index_t Row = 0; Row < A.NumRows; ++Row)
+      Y[Row] += Data0[Row] * X[Idx0[Row]] + Data1[Row] * X[Idx1[Row]];
+  }
+  for (; C < A.Width; ++C) {
+    const T *SMAT_RESTRICT Data =
+        A.Data.data() + static_cast<std::size_t>(C) * A.NumRows;
+    const index_t *SMAT_RESTRICT Idx =
+        A.Indices.data() + static_cast<std::size_t>(C) * A.NumRows;
+#pragma omp simd
+    for (index_t Row = 0; Row < A.NumRows; ++Row)
+      Y[Row] += Data[Row] * X[Idx[Row]];
+  }
+}
+
+/// Column-major pass with gather prefetch on the X stream.
+template <typename T>
+void ellPrefetch(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
+                 T *SMAT_RESTRICT Y) {
+  ellZero(Y, A.NumRows);
+  constexpr index_t Distance = 64;
+  for (index_t C = 0; C < A.Width; ++C) {
+    const T *SMAT_RESTRICT Data =
+        A.Data.data() + static_cast<std::size_t>(C) * A.NumRows;
+    const index_t *SMAT_RESTRICT Idx =
+        A.Indices.data() + static_cast<std::size_t>(C) * A.NumRows;
+    for (index_t Row = 0; Row < A.NumRows; ++Row) {
+      if (Row + Distance < A.NumRows)
+        __builtin_prefetch(&X[Idx[Row + Distance]], 0, 0);
+      Y[Row] += Data[Row] * X[Idx[Row]];
+    }
+  }
+}
+
+} // namespace
+} // namespace smat
+
+template <typename T>
+std::vector<smat::Kernel<smat::EllKernelFn<T>>> smat::makeEllKernels() {
+  return {
+      {"ell_basic", OptNone, &ellBasic<T>},
+      {"ell_simd", OptSimd, &ellSimd<T>},
+      {"ell_rowmajor", OptInterchange, &ellRowMajor<T>},
+      {"ell_unroll2", OptUnroll, &ellUnroll2<T>},
+      {"ell_omp_rows", OptThreads | OptInterchange, &ellOmpRows<T>},
+      {"ell_simd_unroll2", OptSimd | OptUnroll, &ellSimdUnroll2<T>},
+      {"ell_prefetch", OptPrefetch, &ellPrefetch<T>},
+  };
+}
+
+template std::vector<smat::Kernel<smat::EllKernelFn<float>>>
+smat::makeEllKernels<float>();
+template std::vector<smat::Kernel<smat::EllKernelFn<double>>>
+smat::makeEllKernels<double>();

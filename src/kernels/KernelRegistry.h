@@ -1,0 +1,105 @@
+//===- kernels/KernelRegistry.h - SpMV kernel library -----------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SpMV kernel library (paper Figure 4, "Kernel Library"). Every format
+/// has multiple implementations, each tagged with the set of optimization
+/// strategies it applies. The scoreboard search (Scoreboard.h) scores the
+/// strategies on the target architecture and picks the per-format optimal
+/// kernel.
+///
+/// Kernel semantics: every kernel computes y := A * x (y is overwritten).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_KERNELS_KERNELREGISTRY_H
+#define SMAT_KERNELS_KERNELREGISTRY_H
+
+#include "matrix/BsrMatrix.h"
+#include "matrix/CooMatrix.h"
+#include "matrix/CsrMatrix.h"
+#include "matrix/DiaMatrix.h"
+#include "matrix/EllMatrix.h"
+
+#include <string>
+#include <vector>
+
+namespace smat {
+
+/// Optimization strategies the kernel library explores (paper Section 5.2:
+/// blocking/unrolling, SIMDization, software prefetching, branch
+/// optimization, multi-threading and threading policy).
+enum OptStrategy : unsigned {
+  OptNone = 0,
+  OptUnroll = 1u << 0,      ///< Inner-loop unrolling / multiple accumulators.
+  OptSimd = 1u << 1,        ///< Explicit or pragma-driven vectorization.
+  OptPrefetch = 1u << 2,    ///< Software prefetching of index/value streams.
+  OptBranchFree = 1u << 3,  ///< Branch elimination / store deferral.
+  OptThreads = 1u << 4,     ///< OpenMP multi-threading.
+  OptDynSchedule = 1u << 5, ///< Dynamic (load-balanced) thread schedule.
+  OptInterchange = 1u << 6, ///< Loop-order interchange (ELL row-major).
+};
+
+/// Number of distinct strategy bits above.
+inline constexpr unsigned NumOptStrategies = 7;
+
+/// \returns a short name for strategy bit \p Bit (0-based).
+const char *optStrategyName(unsigned Bit);
+
+/// \returns a "+"-joined list of the strategies in \p Flags, or "basic".
+std::string optFlagsString(unsigned Flags);
+
+template <typename T>
+using CsrKernelFn = void (*)(const CsrMatrix<T> &, const T *, T *);
+template <typename T>
+using CooKernelFn = void (*)(const CooMatrix<T> &, const T *, T *);
+template <typename T>
+using DiaKernelFn = void (*)(const DiaMatrix<T> &, const T *, T *);
+template <typename T>
+using EllKernelFn = void (*)(const EllMatrix<T> &, const T *, T *);
+template <typename T>
+using BsrKernelFn = void (*)(const BsrMatrix<T> &, const T *, T *);
+
+/// One kernel-library entry: an implementation plus its strategy tag set.
+template <typename FnT> struct Kernel {
+  const char *Name;
+  unsigned Flags;
+  FnT Fn;
+};
+
+/// Builders defined by the per-format kernel translation units. Index 0 is
+/// always the basic (strategy-free) implementation the scoreboard compares
+/// against.
+template <typename T> std::vector<Kernel<CsrKernelFn<T>>> makeCsrKernels();
+template <typename T> std::vector<Kernel<CooKernelFn<T>>> makeCooKernels();
+template <typename T> std::vector<Kernel<DiaKernelFn<T>>> makeDiaKernels();
+template <typename T> std::vector<Kernel<EllKernelFn<T>>> makeEllKernels();
+template <typename T> std::vector<Kernel<BsrKernelFn<T>>> makeBsrKernels();
+
+/// The full kernel library for one value type.
+template <typename T> struct KernelTable {
+  std::vector<Kernel<CsrKernelFn<T>>> Csr;
+  std::vector<Kernel<CooKernelFn<T>>> Coo;
+  std::vector<Kernel<DiaKernelFn<T>>> Dia;
+  std::vector<Kernel<EllKernelFn<T>>> Ell;
+  std::vector<Kernel<BsrKernelFn<T>>> Bsr;
+
+  /// Total number of implementations across all formats.
+  std::size_t size() const {
+    return Csr.size() + Coo.size() + Dia.size() + Ell.size() + Bsr.size();
+  }
+};
+
+/// \returns the process-wide kernel table for \p T (float or double);
+/// constructed once on first use.
+template <typename T> const KernelTable<T> &kernelTable();
+
+extern template const KernelTable<float> &kernelTable<float>();
+extern template const KernelTable<double> &kernelTable<double>();
+
+} // namespace smat
+
+#endif // SMAT_KERNELS_KERNELREGISTRY_H

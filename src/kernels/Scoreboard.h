@@ -1,0 +1,98 @@
+//===- kernels/Scoreboard.h - Kernel search (paper Sec. 5.2) ----*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scoreboard kernel search of paper Section 5.2: all implementations of
+/// a format are run on a probe matrix and recorded in a performance table;
+/// each optimization strategy is scored +1/-1 (or neglected when the gap is
+/// below 0.01 GFLOPS) by comparing implementations that differ in exactly
+/// that strategy; the implementation whose strategy-score sum is highest is
+/// selected as the format's optimal kernel on this architecture.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_KERNELS_SCOREBOARD_H
+#define SMAT_KERNELS_SCOREBOARD_H
+
+#include "kernels/KernelRegistry.h"
+#include "matrix/Format.h"
+#include "support/AlignedAlloc.h"
+#include "support/Timer.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace smat {
+
+/// One row of the scoreboard's performance record table.
+struct KernelMeasurement {
+  std::string Name;
+  unsigned Flags = 0;
+  double Gflops = 0.0;
+};
+
+/// Output of the scoreboard algorithm for one format.
+struct ScoreboardResult {
+  /// Summed votes per optimization strategy bit.
+  std::array<int, NumOptStrategies> StrategyScores{};
+  /// Strategy bits whose measured effect never exceeded the neglect gap.
+  std::array<bool, NumOptStrategies> Neglected{};
+  /// Per-implementation score (sum of its strategies' scores).
+  std::vector<int> KernelScores;
+  /// Index of the selected implementation in the measurement list.
+  int BestIndex = 0;
+};
+
+/// Runs the scoreboard algorithm over a measured performance table.
+/// \p NoEffectGap is the paper's 0.01 (GFLOPS) neglect threshold.
+/// The table must contain exactly one basic (Flags == 0) entry.
+ScoreboardResult runScoreboard(const std::vector<KernelMeasurement> &Table,
+                               double NoEffectGap = 0.01);
+
+/// Measures every kernel of one format on one matrix and returns the
+/// performance record table. MatrixT/FnT pairs are (CsrMatrix, CsrKernelFn)
+/// and so on.
+template <typename T, typename MatrixT, typename FnT>
+std::vector<KernelMeasurement>
+measureKernelTable(const std::vector<Kernel<FnT>> &Kernels, const MatrixT &A,
+                   double MinSeconds = 2e-3) {
+  AlignedVector<T> X(static_cast<std::size_t>(A.NumCols), T(1));
+  AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows), T(0));
+  for (std::size_t I = 0; I != X.size(); ++I)
+    X[I] = T(0.01) * static_cast<T>(I % 100) - T(0.5);
+
+  std::vector<KernelMeasurement> Table;
+  Table.reserve(Kernels.size());
+  for (const Kernel<FnT> &K : Kernels) {
+    double Seconds = measureSecondsPerCall(
+        [&] { K.Fn(A, X.data(), Y.data()); }, MinSeconds);
+    Table.push_back({K.Name, K.Flags,
+                     spmvGflops(static_cast<std::uint64_t>(A.nnz()),
+                                Seconds)});
+  }
+  return Table;
+}
+
+/// The per-format kernels selected by the scoreboard on this machine.
+struct KernelSelection {
+  std::array<int, NumFormats> BestKernel{}; ///< Indexed by FormatKind.
+  std::array<std::string, NumFormats> BestKernelName{};
+};
+
+/// Runs the full off-line kernel search: builds one format-friendly probe
+/// matrix per format, measures every implementation, and applies the
+/// scoreboard. Deterministic probes; \p MinSeconds controls measurement
+/// cost.
+template <typename T>
+KernelSelection searchOptimalKernels(double MinSeconds = 2e-3);
+
+extern template KernelSelection searchOptimalKernels<float>(double);
+extern template KernelSelection searchOptimalKernels<double>(double);
+
+} // namespace smat
+
+#endif // SMAT_KERNELS_SCOREBOARD_H

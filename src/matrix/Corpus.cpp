@@ -1,0 +1,446 @@
+//===- matrix/Corpus.cpp - Training/evaluation matrix corpus --------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Each domain family below mixes generator recipes so that the *measured*
+// best-format distribution lands in the same regime as paper Table 1: CSR
+// favored by the clear majority, COO owning scale-free graphs, DIA owning
+// strongly diagonal structures, ELL owning regular bounded-degree rows.
+// The labels themselves always come from measurement, never from the recipe.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matrix/Corpus.h"
+
+#include "matrix/FormatConvert.h"
+#include "matrix/Generators.h"
+#include "support/Rng.h"
+#include "support/Str.h"
+
+#include <cmath>
+#include <functional>
+
+using namespace smat;
+
+namespace {
+
+/// A recipe draws one matrix given a per-entry RNG and a size multiplier.
+using Recipe = std::function<CsrMatrix<double>(Rng &, double)>;
+
+struct DomainSpec {
+  const char *Name;
+  std::vector<Recipe> Recipes;
+};
+
+index_t scaled(double Base, double Mult, index_t Lo = 64) {
+  double V = Base * Mult;
+  if (V < static_cast<double>(Lo))
+    return Lo;
+  return static_cast<index_t>(V);
+}
+
+std::vector<index_t> randomOffsets(Rng &Rng, index_t N, index_t Count) {
+  std::vector<index_t> Offsets = {0};
+  while (static_cast<index_t>(Offsets.size()) < Count) {
+    index_t Off = static_cast<index_t>(Rng.range(-(N / 2), N / 2));
+    bool Fresh = true;
+    for (index_t Existing : Offsets)
+      if (Existing == Off)
+        Fresh = false;
+    if (Fresh && Off > -N && Off < N)
+      Offsets.push_back(Off);
+  }
+  std::sort(Offsets.begin(), Offsets.end());
+  return Offsets;
+}
+
+std::uint64_t nextSeed(Rng &Rng) { return Rng(); }
+// ---------------------------------------------------------------------------
+// Calibrated recipe helpers. Each helper is named for the format its output
+// *usually* measures fastest in on this class of machine (the label still
+// always comes from measurement). Calibration data: bench_cache probes —
+// CSR wins on high-variance/irregular rows; COO on low-degree scale-free
+// graphs of 8k+ rows; DIA on true-diagonal structure; ELL on regular
+// bounded-degree rows.
+// ---------------------------------------------------------------------------
+
+index_t atLeast(index_t Floor, index_t V) { return V < Floor ? Floor : V; }
+
+Recipe csrSpiked(double BaseN, index_t DegLo, index_t DegHi) {
+  return [=](Rng &R, double M) {
+    index_t N = scaled(BaseN, M, 512);
+    return spikedRows(N, static_cast<index_t>(R.range(DegLo, DegHi)),
+                      std::max<index_t>(64, N / 8), R.uniform(0.01, 0.05),
+                      nextSeed(R));
+  };
+}
+
+Recipe csrCircuit(double BaseN) {
+  return [=](Rng &R, double M) {
+    return circuitLike(scaled(BaseN, M, 512),
+                       static_cast<index_t>(R.range(2, 6)),
+                       R.uniform(0.05, 0.2), nextSeed(R));
+  };
+}
+
+/// Small scale-free graphs stay cache-resident, where CSR's row loop wins.
+Recipe csrSmallGraph() {
+  return [](Rng &R, double M) {
+    return powerLawGraph(scaled(5000, M, 256), R.uniform(1.6, 3.0), 1, 32,
+                         nextSeed(R));
+  };
+}
+
+Recipe cooPowerLaw(double Exponent0, double Exponent1) {
+  return [=](Rng &R, double M) {
+    return powerLawGraph(atLeast(8000, scaled(60000, M)),
+                         R.uniform(Exponent0, Exponent1), 1,
+                         static_cast<index_t>(R.range(12, 48)), nextSeed(R));
+  };
+}
+
+Recipe cooPreferentialAttachment() {
+  return [](Rng &R, double M) {
+    return barabasiAlbert(atLeast(8000, scaled(50000, M)),
+                          static_cast<index_t>(R.range(2, 3)), nextSeed(R));
+  };
+}
+
+Recipe cooSparseRandom() {
+  return [](Rng &R, double M) {
+    index_t N = atLeast(10000, scaled(60000, M));
+    return erdosRenyi(N, N, R.uniform(1.5, 3.0), nextSeed(R));
+  };
+}
+
+Recipe diaBanded(double BaseN) {
+  return [=](Rng &R, double M) {
+    return banded(scaled(BaseN, M, 512),
+                  static_cast<index_t>(R.range(2, 16)));
+  };
+}
+
+Recipe diaScattered(double BaseN) {
+  return [=](Rng &R, double M) {
+    index_t N = scaled(BaseN, M, 512);
+    return multiDiagonal(
+        N, randomOffsets(R, N, static_cast<index_t>(R.range(5, 15))));
+  };
+}
+
+Recipe diaBroken(double BaseN, double OccLo, double OccHi) {
+  return [=](Rng &R, double M) {
+    index_t N = scaled(BaseN, M, 512);
+    return brokenDiagonals(
+        N, randomOffsets(R, N, static_cast<index_t>(R.range(5, 11))),
+        R.uniform(OccLo, OccHi), nextSeed(R));
+  };
+}
+
+Recipe diaStencil2d(bool NinePoint) {
+  return [=](Rng &R, double M) {
+    (void)R;
+    index_t Side = scaled(120, std::sqrt(M), 16);
+    return NinePoint ? laplace2d9pt(Side, Side) : laplace2d5pt(Side, Side);
+  };
+}
+
+Recipe diaStencil3d(bool TwentySevenPoint) {
+  return [=](Rng &R, double M) {
+    (void)R;
+    index_t Side = scaled(26, std::cbrt(M), 6);
+    return TwentySevenPoint ? laplace3d27pt(Side, Side, Side)
+                            : laplace3d7pt(Side, Side, Side);
+  };
+}
+
+Recipe ellBounded(double BaseN, index_t DegLo, index_t DegHi) {
+  return [=](Rng &R, double M) {
+    index_t N = scaled(BaseN, M, 512);
+    index_t Lo = static_cast<index_t>(R.range(DegLo, DegHi));
+    return boundedDegreeRandom(N, N, Lo,
+                               Lo + static_cast<index_t>(R.range(0, 2)),
+                               nextSeed(R));
+  };
+}
+
+Recipe ellRectangular(double BaseRows) {
+  return [=](Rng &R, double M) {
+    index_t Rows = scaled(BaseRows, M, 512);
+    return lpRectangular(Rows, std::max<index_t>(64, Rows / 5),
+                         static_cast<index_t>(R.range(3, 8)), nextSeed(R));
+  };
+}
+
+Recipe ellBlockFem() {
+  return [](Rng &R, double M) {
+    return blockFem(scaled(300, M, 16), static_cast<index_t>(R.range(8, 24)),
+                    R.uniform(0.5, 2.0), nextSeed(R));
+  };
+}
+
+/// AMG transfer operators (P and its transpose R): the rectangular,
+/// regular-row matrices the Table-4 experiment tunes inside the solver.
+/// UF hosts plenty of such multigrid/graph-partitioning operators.
+Recipe amgTransfer(bool Transposed) {
+  return [=](Rng &R, double M) {
+    CsrMatrix<double> P = transferOperator(
+        scaled(60000, M, 2048), static_cast<index_t>(R.range(2, 4)),
+        nextSeed(R));
+    return Transposed ? transposeCsr(P) : P;
+  };
+}
+
+/// The Table-1-style domain list. Each domain's recipe mix mirrors its row
+/// of paper Table 1 (e.g. circuit simulation leans COO, materials splits
+/// CSR/DIA, most domains lean CSR), so the measured whole-corpus
+/// distribution lands near the paper's CSR 63% / COO 21% / DIA 9% / ELL 7%.
+const std::vector<DomainSpec> &domainCatalog() {
+  static const std::vector<DomainSpec> Catalog = [] {
+    std::vector<DomainSpec> Domains;
+
+    // Table 1: graph 334 = CSR 187 / COO 114 / DIA 6 / ELL 27.
+    Domains.push_back({"graph",
+                       {csrSmallGraph(), cooPowerLaw(1.8, 3.2),
+                        csrSpiked(10000, 4, 12), cooPreferentialAttachment(),
+                        csrCircuit(12000), ellBounded(8000, 2, 4)}});
+
+    // linear programming 327 = CSR 267 / COO 52 / ELL 5.
+    Domains.push_back({"linear_programming",
+                       {csrSpiked(30000, 6, 20), csrSpiked(50000, 4, 10),
+                        csrCircuit(12000), csrSpiked(20000, 10, 30),
+                        cooSparseRandom()}});
+
+    // structural 277 = CSR 224 / DIA 35 / COO 14 / ELL 4.
+    Domains.push_back({"structural",
+                       {csrSpiked(25000, 20, 60), csrSpiked(40000, 10, 40),
+                        csrCircuit(9000), csrSpiked(30000, 30, 80),
+                        diaBanded(12000)}});
+
+    // combinatorial 266 = CSR 122 / COO 50 / ELL 84 / DIA 10.
+    Domains.push_back({"combinatorial",
+                       {csrSpiked(25000, 3, 8), cooPowerLaw(1.2, 2.2),
+                        ellRectangular(20000), ellBounded(12000, 2, 4),
+                        csrCircuit(8000)}});
+
+    // circuit simulation 260 = CSR 110 / COO 149.
+    Domains.push_back({"circuit_simulation",
+                       {cooPowerLaw(2.0, 3.2), csrCircuit(12000),
+                        cooSparseRandom(), csrCircuit(14000)}});
+
+    // CFD 168 = CSR 110 / DIA 47 / COO 8 / ELL 3.
+    Domains.push_back({"computational_fluid_dynamics",
+                       {csrSpiked(35000, 15, 40), csrCircuit(10000),
+                        csrSpiked(50000, 8, 24), diaStencil3d(false),
+                        diaBroken(14000, 0.85, 1.0)}});
+
+    // optimization 138 = CSR 113 / COO 15 / DIA 8 / ELL 2.
+    Domains.push_back({"optimization",
+                       {csrSpiked(25000, 5, 20), csrSpiked(40000, 8, 30),
+                        csrCircuit(10000), csrSmallGraph(),
+                        cooPowerLaw(2.0, 3.0)}});
+
+    // 2D/3D 121 = CSR 64 / COO 21 / DIA 19 / ELL 17.
+    Domains.push_back({"2d_3d",
+                       {csrSpiked(30000, 6, 16), diaStencil2d(false),
+                        ellBounded(14000, 3, 5), cooPowerLaw(2.2, 3.2),
+                        csrCircuit(10000), amgTransfer(false),
+                        amgTransfer(true)}});
+
+    // economic 71 = CSR 67 / COO 4.
+    Domains.push_back({"economic",
+                       {csrSpiked(25000, 3, 12), csrCircuit(12000),
+                        csrSpiked(40000, 4, 10)}});
+
+    // chemical process 64 = CSR 47 / COO 14 / DIA 2 / ELL 1.
+    Domains.push_back({"chemical_process",
+                       {csrCircuit(9000), csrSpiked(20000, 4, 14),
+                        csrSmallGraph(), cooSparseRandom()}});
+
+    // power network 61 = CSR 45 / COO 15 / ELL 1.
+    Domains.push_back({"power_network",
+                       {csrCircuit(12000), csrSpiked(30000, 2, 6),
+                        csrSmallGraph(), cooPowerLaw(2.4, 3.4)}});
+
+    // model reduction 60 = CSR 29 / COO 34 / DIA 6 / ELL 1.
+    Domains.push_back({"model_reduction",
+                       {csrSpiked(25000, 8, 24), cooPowerLaw(1.6, 2.6),
+                        diaBanded(10000), cooPreferentialAttachment()}});
+
+    // theoretical/quantum chemistry 47 = CSR 21 / DIA 26.
+    Domains.push_back({"quantum_chemistry",
+                       {csrSpiked(20000, 20, 60), diaScattered(10000),
+                        csrCircuit(8000), diaBanded(8000)}});
+
+    // electromagnetics 33 = CSR 17 / DIA 12 / ELL 3 / COO 1.
+    Domains.push_back({"electromagnetics",
+                       {csrSpiked(25000, 10, 30), csrCircuit(9000),
+                        diaBroken(12000, 0.9, 1.0), ellBlockFem()}});
+
+    // semiconductor device 33 = CSR 28 / DIA 3 / COO 1 / ELL 1.
+    Domains.push_back({"semiconductor_device",
+                       {csrSpiked(30000, 5, 16), csrCircuit(12000),
+                        csrSpiked(20000, 8, 20), diaStencil3d(false)}});
+
+    // thermal 29 = CSR 19 / ELL 4 / DIA 3 / COO 3.
+    Domains.push_back({"thermal",
+                       {csrSpiked(25000, 6, 14), csrCircuit(10000),
+                        diaStencil2d(true), ellBounded(10000, 5, 8)}});
+
+    // materials 26 = CSR 12 / DIA 11 / COO 3.
+    Domains.push_back({"materials",
+                       {csrSpiked(25000, 15, 50), diaBanded(10000),
+                        csrCircuit(8000), diaScattered(12000)}});
+
+    // least squares 21 = CSR 10 / ELL 9 / COO 2.
+    Domains.push_back({"least_squares",
+                       {csrSpiked(25000, 4, 12), ellRectangular(16000),
+                        csrCircuit(8000), ellBounded(10000, 4, 7)}});
+
+    // computer graphics/vision 12 = CSR 8 / ELL 2 / COO 1 / DIA 1.
+    Domains.push_back({"computer_graphics_vision",
+                       {csrSpiked(20000, 5, 16), csrSmallGraph(),
+                        ellBounded(12000, 5, 8)}});
+
+    // statistical/mathematical 10 = ELL 4 / DIA 3 / CSR 2 / COO 1.
+    Domains.push_back({"statistical_mathematical",
+                       {ellBounded(8000, 3, 6), diaScattered(8000),
+                        csrSpiked(20000, 3, 10), cooPowerLaw(2.0, 3.0)}});
+
+    // counter-example 8 = COO 4 / CSR 3 / DIA 1.
+    Domains.push_back({"counter_example",
+                       {cooPowerLaw(1.2, 4.0), csrSmallGraph(),
+                        diaBroken(8000, 0.6, 0.9)}});
+
+    // acoustics 7 = CSR 5 / DIA 2.
+    Domains.push_back({"acoustics",
+                       {csrSpiked(25000, 8, 20), csrCircuit(8000),
+                        diaBroken(10000, 0.7, 1.0)}});
+
+    // robotics 3 = CSR 3.
+    Domains.push_back({"robotics", {csrSpiked(15000, 4, 16)}});
+
+    return Domains;
+  }();
+  return Catalog;
+}
+
+} // namespace
+
+const std::vector<std::string> &smat::corpusDomains() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> Result;
+    for (const DomainSpec &Domain : domainCatalog())
+      Result.push_back(Domain.Name);
+    return Result;
+  }();
+  return Names;
+}
+
+std::vector<CorpusEntry> smat::buildCorpus(CorpusScale Scale,
+                                           std::uint64_t Seed) {
+  int PerDomain = 2;
+  double SizeMult = 0.08;
+  switch (Scale) {
+  case CorpusScale::Tiny:
+    PerDomain = 2;
+    SizeMult = 0.08;
+    break;
+  case CorpusScale::Small:
+    PerDomain = 12;
+    SizeMult = 0.25;
+    break;
+  case CorpusScale::Full:
+    PerDomain = 93; // 23 domains * 93 = 2139 >= the paper's 2055 + 331 / 7.
+    SizeMult = 0.25;
+    break;
+  }
+
+  std::vector<CorpusEntry> Corpus;
+  Rng Master(Seed);
+  for (const DomainSpec &Domain : domainCatalog()) {
+    for (int Rep = 0; Rep < PerDomain; ++Rep) {
+      const Recipe &Make = Domain.Recipes[Rep % Domain.Recipes.size()];
+      Rng EntryRng(Master());
+      // Vary the size a bit so no two replicas are identical in shape.
+      double Mult = SizeMult * EntryRng.uniform(0.5, 1.6);
+      CorpusEntry Entry;
+      Entry.Domain = Domain.Name;
+      Entry.Name = formatString("%s_%03d", Domain.Name, Rep);
+      Entry.Matrix = Make(EntryRng, Mult);
+      Corpus.push_back(std::move(Entry));
+    }
+  }
+  return Corpus;
+}
+
+void smat::splitCorpus(const std::vector<CorpusEntry> &Corpus,
+                       std::vector<const CorpusEntry *> &Training,
+                       std::vector<const CorpusEntry *> &Evaluation) {
+  Training.clear();
+  Evaluation.clear();
+  for (std::size_t I = 0; I != Corpus.size(); ++I) {
+    if (I % 7 == 6)
+      Evaluation.push_back(&Corpus[I]);
+    else
+      Training.push_back(&Corpus[I]);
+  }
+}
+
+std::vector<CorpusEntry> smat::representativeMatrices(bool Large) {
+  // Paper Figure 8 roles, scaled to this machine. Index 1-16 order.
+  double S = Large ? 2.0 : 1.0;
+  auto N = [S](index_t Base) { return static_cast<index_t>(Base * S); };
+
+  std::vector<CorpusEntry> Reps;
+  auto Add = [&Reps](const char *Name, const char *Domain,
+                     CsrMatrix<double> M) {
+    Reps.push_back({Name, Domain, std::move(M)});
+  };
+
+  // 1-4: DIA-affine (paper: pcrystk02, denormal, cryg10000, apache1).
+  Add("syn_pcrystk02", "materials", banded(N(14000), 17));
+  Add("syn_denormal", "counter_example",
+      multiDiagonal(N(50000), {-300, -1, 0, 1, 300}));
+  Add("syn_cryg10000", "materials",
+      brokenDiagonals(N(10000), {-2500, -50, -1, 0, 1, 50, 2500}, 0.97, 101));
+  Add("syn_apache1", "structural", laplace3d7pt(N(40), N(40), N(40)));
+
+  // 5-8: ELL-affine (paper: bfly, whitaker3_dual, ch7-9-b3, shar_te2-b2).
+  Add("syn_bfly", "graph",
+      boundedDegreeRandom(N(49152), N(49152), 2, 2, 102));
+  Add("syn_whitaker3_dual", "2d_3d",
+      boundedDegreeRandom(N(19190), N(19190), 3, 3, 103));
+  Add("syn_ch7_9_b3", "combinatorial",
+      boundedDegreeRandom(N(52000), N(9000), 4, 4, 104));
+  Add("syn_shar_te2_b2", "combinatorial",
+      boundedDegreeRandom(N(60000), N(8500), 3, 3, 105));
+
+  // 9-12: CSR-affine heavyweights (paper: pkustk14, crankseg_2, Ga3As3H12,
+  // HV15R). Their defining trait is a heavy mean degree with high variance
+  // (dense blocks of very different sizes, a few huge rows), which defeats
+  // both DIA (scattered diagonals) and ELL (max_RD far above aver_RD).
+  Add("syn_pkustk14", "structural",
+      spikedRows(N(30000), 80, 2500, 0.01, 106));
+  Add("syn_crankseg_2", "structural",
+      spikedRows(N(20000), 180, 5000, 0.01, 107));
+  Add("syn_ga3as3h12", "quantum_chemistry",
+      spikedRows(N(20000), 40, 1200, 0.01, 108));
+  Add("syn_hv15r", "computational_fluid_dynamics",
+      spikedRows(N(45000), 60, 1800, 0.015, 109));
+
+  // 13-16: COO-affine graphs (paper: europe_osm, D6-6, dictionary28,
+  // roadNet-CA).
+  Add("syn_europe_osm", "graph",
+      powerLawGraph(N(120000), 2.8, 1, 12, 110));
+  Add("syn_d6_6", "combinatorial",
+      powerLawGraph(N(60000), 1.8, 1, 40, 111));
+  Add("syn_dictionary28", "graph",
+      powerLawGraph(N(52652), 2.2, 1, 64, 112));
+  Add("syn_roadnet_ca", "graph",
+      powerLawGraph(N(100000), 3.2, 1, 8, 113));
+
+  return Reps;
+}

@@ -1,0 +1,72 @@
+//===- matrix/Format.h - Sparse storage format enumeration ------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four basic storage formats SMAT tunes over (paper Section 2.1), and
+/// the index type used by every sparse structure in the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_MATRIX_FORMAT_H
+#define SMAT_MATRIX_FORMAT_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace smat {
+
+/// 32-bit indices, matching the paper-era libraries (MKL, OSKI). All corpus
+/// matrices fit comfortably; conversions assert on overflow.
+using index_t = std::int32_t;
+
+/// The four basic sparse storage formats (paper Figure 2), plus BSR — the
+/// blocked-CSR extension format (paper Section 2.1 lists BCSR among the
+/// blocking variants; OSKI is built around it). BSR is disabled by default
+/// in training so the paper's four-format tables reproduce unchanged; see
+/// TrainingOptions::EnableBsr. The underlying values are used as dense
+/// array indices throughout, so they must stay contiguous from zero.
+enum class FormatKind : std::uint8_t {
+  CSR = 0,
+  COO = 1,
+  DIA = 2,
+  ELL = 3,
+  BSR = 4,
+};
+
+/// Number of FormatKind values; sized for `double Table[NumFormats]` arrays.
+inline constexpr int NumFormats = 5;
+
+/// Evaluation order of the runtime rule groups (paper Section 6): DIA first
+/// because it is fastest when applicable, then ELL (regular and easy to
+/// predict), then BSR (block structure is similarly crisp), then CSR (its
+/// parameters are already computed), then COO.
+inline constexpr FormatKind RuleGroupOrder[NumFormats] = {
+    FormatKind::DIA, FormatKind::ELL, FormatKind::BSR, FormatKind::CSR,
+    FormatKind::COO};
+
+/// \returns the canonical upper-case name of \p Kind.
+constexpr std::string_view formatName(FormatKind Kind) {
+  switch (Kind) {
+  case FormatKind::CSR:
+    return "CSR";
+  case FormatKind::COO:
+    return "COO";
+  case FormatKind::DIA:
+    return "DIA";
+  case FormatKind::ELL:
+    return "ELL";
+  case FormatKind::BSR:
+    return "BSR";
+  }
+  return "?";
+}
+
+/// Parses a format name; \returns true on success.
+bool parseFormatName(std::string_view Name, FormatKind &Kind);
+
+} // namespace smat
+
+#endif // SMAT_MATRIX_FORMAT_H

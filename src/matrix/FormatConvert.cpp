@@ -1,0 +1,35 @@
+//===- matrix/FormatConvert.cpp - Conversions between formats -------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matrix/FormatConvert.h"
+
+#include "support/Str.h"
+
+using namespace smat;
+
+bool smat::parseFormatName(std::string_view Name, FormatKind &Kind) {
+  if (equalsIgnoreCase(Name, "csr")) {
+    Kind = FormatKind::CSR;
+    return true;
+  }
+  if (equalsIgnoreCase(Name, "coo")) {
+    Kind = FormatKind::COO;
+    return true;
+  }
+  if (equalsIgnoreCase(Name, "dia")) {
+    Kind = FormatKind::DIA;
+    return true;
+  }
+  if (equalsIgnoreCase(Name, "ell")) {
+    Kind = FormatKind::ELL;
+    return true;
+  }
+  if (equalsIgnoreCase(Name, "bsr")) {
+    Kind = FormatKind::BSR;
+    return true;
+  }
+  return false;
+}

@@ -1,0 +1,423 @@
+//===- matrix/FormatConvert.h - Conversions between formats -----*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conversions between the four basic storage formats. CSR is the canonical
+/// source format (it is SMAT's unified interface); DIA and ELL conversions
+/// take explicit fill guards because their zero-padding can explode memory
+/// for unsuitable structures — the paper's runtime only attempts them when
+/// the fill stays sane.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_MATRIX_FORMATCONVERT_H
+#define SMAT_MATRIX_FORMATCONVERT_H
+
+#include "matrix/BsrMatrix.h"
+#include "matrix/CooMatrix.h"
+#include "matrix/CsrMatrix.h"
+#include "matrix/DiaMatrix.h"
+#include "matrix/EllMatrix.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace smat {
+
+/// Default guards used by the runtime when considering a DIA or ELL
+/// conversion: stored elements (incl. padding) may not exceed
+/// DefaultMaxFillRatio * nnz, and DIA may not need more than
+/// DefaultMaxDiags diagonals.
+inline constexpr double DefaultMaxFillRatio = 20.0;
+inline constexpr index_t DefaultMaxDiags = 1024;
+
+/// Builds a CSR matrix from (possibly unsorted, possibly duplicated)
+/// triplets. Duplicate coordinates are summed, matching MatrixMarket
+/// semantics.
+template <typename T>
+CsrMatrix<T> csrFromTriplets(index_t NumRows, index_t NumCols,
+                             std::vector<index_t> Rows,
+                             std::vector<index_t> Cols, std::vector<T> Vals) {
+  assert(Rows.size() == Cols.size() && Rows.size() == Vals.size() &&
+         "triplet arrays must have equal length");
+
+  std::vector<std::size_t> Order(Rows.size());
+  std::iota(Order.begin(), Order.end(), std::size_t{0});
+  std::sort(Order.begin(), Order.end(), [&](std::size_t A, std::size_t B) {
+    if (Rows[A] != Rows[B])
+      return Rows[A] < Rows[B];
+    return Cols[A] < Cols[B];
+  });
+
+  CsrMatrix<T> M(NumRows, NumCols);
+  M.ColIdx.reserve(Rows.size());
+  M.Values.reserve(Rows.size());
+  index_t PrevRow = -1, PrevCol = -1;
+  for (std::size_t K : Order) {
+    index_t Row = Rows[K], Col = Cols[K];
+    assert(Row >= 0 && Row < NumRows && Col >= 0 && Col < NumCols &&
+           "triplet out of range");
+    if (Row == PrevRow && Col == PrevCol) {
+      M.Values.back() += Vals[K];
+      continue;
+    }
+    M.ColIdx.push_back(Col);
+    M.Values.push_back(Vals[K]);
+    ++M.RowPtr[Row + 1];
+    PrevRow = Row;
+    PrevCol = Col;
+  }
+  for (index_t Row = 0; Row < NumRows; ++Row)
+    M.RowPtr[Row + 1] += M.RowPtr[Row];
+  return M;
+}
+
+/// CSR -> COO; entries come out in row-major order.
+template <typename T> CooMatrix<T> csrToCoo(const CsrMatrix<T> &A) {
+  CooMatrix<T> B;
+  B.NumRows = A.NumRows;
+  B.NumCols = A.NumCols;
+  std::size_t Nnz = static_cast<std::size_t>(A.nnz());
+  B.Rows.resize(Nnz);
+  B.Cols.assign(A.ColIdx.begin(), A.ColIdx.end());
+  B.Values.assign(A.Values.begin(), A.Values.end());
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I)
+      B.Rows[static_cast<std::size_t>(I)] = Row;
+  return B;
+}
+
+/// COO -> CSR; sorts and sums duplicates.
+template <typename T> CsrMatrix<T> cooToCsr(const CooMatrix<T> &A) {
+  return csrFromTriplets<T>(
+      A.NumRows, A.NumCols, std::vector<index_t>(A.Rows.begin(), A.Rows.end()),
+      std::vector<index_t>(A.Cols.begin(), A.Cols.end()),
+      std::vector<T>(A.Values.begin(), A.Values.end()));
+}
+
+/// CSR -> DIA.
+///
+/// \param MaxFillRatio reject when padded storage exceeds this multiple of
+/// nnz (values <= 0 disable the guard).
+/// \param MaxDiags reject when more than this many diagonals are occupied
+/// (values <= 0 disable the guard).
+/// \returns true and fills \p B on success; false when a guard rejects.
+template <typename T>
+bool csrToDia(const CsrMatrix<T> &A, DiaMatrix<T> &B,
+              double MaxFillRatio = DefaultMaxFillRatio,
+              index_t MaxDiags = DefaultMaxDiags) {
+  // Mark the occupied diagonals. Offset index Col - Row + (NumRows - 1) is in
+  // [0, NumRows + NumCols - 2].
+  std::vector<char> Occupied(
+      static_cast<std::size_t>(A.NumRows) + A.NumCols, 0);
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I)
+      Occupied[static_cast<std::size_t>(A.ColIdx[I]) - Row + A.NumRows - 1] = 1;
+
+  index_t NumDiags = 0;
+  for (char Flag : Occupied)
+    NumDiags += Flag;
+  if (MaxDiags > 0 && NumDiags > MaxDiags)
+    return false;
+  double Stored = static_cast<double>(NumDiags) * A.NumRows;
+  if (MaxFillRatio > 0 && A.nnz() > 0 &&
+      Stored > MaxFillRatio * static_cast<double>(A.nnz()))
+    return false;
+
+  B = DiaMatrix<T>();
+  B.NumRows = A.NumRows;
+  B.NumCols = A.NumCols;
+  B.TrueNnz = A.nnz();
+  B.Offsets.reserve(NumDiags);
+  // Map offset index -> dense diagonal slot.
+  std::vector<index_t> Slot(Occupied.size(), -1);
+  for (std::size_t I = 0; I != Occupied.size(); ++I) {
+    if (!Occupied[I])
+      continue;
+    Slot[I] = B.numDiags();
+    B.Offsets.push_back(static_cast<index_t>(I) - (A.NumRows - 1));
+  }
+  B.Data.assign(static_cast<std::size_t>(NumDiags) *
+                    static_cast<std::size_t>(A.NumRows),
+                T(0));
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
+      index_t D = Slot[static_cast<std::size_t>(A.ColIdx[I]) - Row +
+                       A.NumRows - 1];
+      B.Data[static_cast<std::size_t>(D) * A.NumRows + Row] = A.Values[I];
+    }
+  return true;
+}
+
+/// CSR -> ELL.
+///
+/// \param MaxFillRatio reject when padded storage exceeds this multiple of
+/// nnz (values <= 0 disable the guard).
+/// \returns true and fills \p B on success; false when the guard rejects.
+template <typename T>
+bool csrToEll(const CsrMatrix<T> &A, EllMatrix<T> &B,
+              double MaxFillRatio = DefaultMaxFillRatio) {
+  index_t Width = 0;
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    Width = std::max(Width, A.rowDegree(Row));
+  double Stored = static_cast<double>(Width) * A.NumRows;
+  if (MaxFillRatio > 0 && A.nnz() > 0 &&
+      Stored > MaxFillRatio * static_cast<double>(A.nnz()))
+    return false;
+
+  B = EllMatrix<T>();
+  B.NumRows = A.NumRows;
+  B.NumCols = A.NumCols;
+  B.Width = Width;
+  B.TrueNnz = A.nnz();
+  std::size_t Elements = static_cast<std::size_t>(Width) *
+                         static_cast<std::size_t>(A.NumRows);
+  B.Indices.assign(Elements, 0);
+  B.Data.assign(Elements, T(0));
+  for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    index_t Packed = 0;
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I, ++Packed) {
+      std::size_t Dst =
+          static_cast<std::size_t>(Packed) * A.NumRows + Row;
+      B.Indices[Dst] = A.ColIdx[I];
+      B.Data[Dst] = A.Values[I];
+    }
+  }
+  return true;
+}
+
+/// DIA -> CSR; padding zeros are dropped (exact zero test, which is correct
+/// because the converter wrote exact zeros).
+template <typename T> CsrMatrix<T> diaToCsr(const DiaMatrix<T> &A) {
+  std::vector<index_t> Rows, Cols;
+  std::vector<T> Vals;
+  for (index_t D = 0; D < A.numDiags(); ++D) {
+    index_t Offset = A.Offsets[D];
+    index_t RowBegin = std::max(index_t(0), -Offset);
+    index_t RowEnd =
+        std::min(A.NumRows, A.NumCols - Offset);
+    for (index_t Row = RowBegin; Row < RowEnd; ++Row) {
+      T Val = A.Data[static_cast<std::size_t>(D) * A.NumRows + Row];
+      if (Val == T(0))
+        continue;
+      Rows.push_back(Row);
+      Cols.push_back(Row + Offset);
+      Vals.push_back(Val);
+    }
+  }
+  return csrFromTriplets<T>(A.NumRows, A.NumCols, std::move(Rows),
+                            std::move(Cols), std::move(Vals));
+}
+
+/// ELL -> CSR; padding (zero value) entries are dropped.
+template <typename T> CsrMatrix<T> ellToCsr(const EllMatrix<T> &A) {
+  std::vector<index_t> Rows, Cols;
+  std::vector<T> Vals;
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    for (index_t C = 0; C < A.Width; ++C) {
+      std::size_t I = static_cast<std::size_t>(C) * A.NumRows + Row;
+      if (A.Data[I] == T(0))
+        continue;
+      Rows.push_back(Row);
+      Cols.push_back(A.Indices[I]);
+      Vals.push_back(A.Data[I]);
+    }
+  return csrFromTriplets<T>(A.NumRows, A.NumCols, std::move(Rows),
+                            std::move(Cols), std::move(Vals));
+}
+
+/// Counts the occupied BlockSize x BlockSize tiles of \p A; the basis of
+/// the OSKI-style block-size choice and the ER_BSR feature.
+template <typename T>
+std::int64_t countOccupiedBlocks(const CsrMatrix<T> &A, index_t BlockSize) {
+  assert(BlockSize >= 1 && "block size must be positive");
+  index_t BlockCols = (A.NumCols + BlockSize - 1) / BlockSize;
+  std::int64_t Occupied = 0;
+  // Per block-row marker array, stamped with the block row id.
+  std::vector<index_t> Stamp(static_cast<std::size_t>(BlockCols), -1);
+  index_t BlockRows = (A.NumRows + BlockSize - 1) / BlockSize;
+  for (index_t Br = 0; Br < BlockRows; ++Br) {
+    index_t RowEnd = std::min(A.NumRows, (Br + 1) * BlockSize);
+    for (index_t Row = Br * BlockSize; Row < RowEnd; ++Row)
+      for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
+        index_t Bc = A.ColIdx[I] / BlockSize;
+        if (Stamp[static_cast<std::size_t>(Bc)] != Br) {
+          Stamp[static_cast<std::size_t>(Bc)] = Br;
+          ++Occupied;
+        }
+      }
+  }
+  return Occupied;
+}
+
+/// OSKI-style block-size selection: among \p Candidates, picks the block
+/// size with the smallest padded storage (fill), requiring the fill ratio
+/// (stored / nnz) to stay at or below \p MaxFillRatio. \returns 0 when no
+/// candidate qualifies.
+template <typename T>
+index_t chooseBsrBlockSize(const CsrMatrix<T> &A,
+                           std::initializer_list<index_t> Candidates = {8, 4,
+                                                                        2},
+                           double MaxFillRatio = 1.5) {
+  if (A.nnz() == 0)
+    return 0;
+  index_t Best = 0;
+  double BestStored = 0;
+  for (index_t B : Candidates) {
+    double Stored = static_cast<double>(countOccupiedBlocks(A, B)) *
+                    static_cast<double>(B) * static_cast<double>(B);
+    if (Stored > MaxFillRatio * static_cast<double>(A.nnz()))
+      continue;
+    if (Best == 0 || Stored < BestStored ||
+        (Stored == BestStored && B > Best)) {
+      Best = B;
+      BestStored = Stored;
+    }
+  }
+  return Best;
+}
+
+/// CSR -> BSR with the given block size.
+///
+/// \param MaxFillRatio reject when padded storage exceeds this multiple of
+/// nnz (values <= 0 disable the guard). BSR's guard default is much
+/// stricter than DIA/ELL's because its padding also bloats the *flop*
+/// count, not just storage.
+/// \returns true and fills \p B on success; false when the guard rejects.
+template <typename T>
+bool csrToBsr(const CsrMatrix<T> &A, BsrMatrix<T> &B, index_t BlockSize,
+              double MaxFillRatio = 1.5) {
+  assert(BlockSize >= 1 && "block size must be positive");
+  std::int64_t Blocks = countOccupiedBlocks(A, BlockSize);
+  double Stored = static_cast<double>(Blocks) *
+                  static_cast<double>(BlockSize) *
+                  static_cast<double>(BlockSize);
+  if (MaxFillRatio > 0 && A.nnz() > 0 &&
+      Stored > MaxFillRatio * static_cast<double>(A.nnz()))
+    return false;
+
+  B = BsrMatrix<T>();
+  B.NumRows = A.NumRows;
+  B.NumCols = A.NumCols;
+  B.BlockSize = BlockSize;
+  B.TrueNnz = A.nnz();
+  index_t BlockRows = B.numBlockRows();
+  index_t BlockCols = B.numBlockCols();
+  B.RowPtr.assign(static_cast<std::size_t>(BlockRows) + 1, 0);
+  B.ColIdx.reserve(static_cast<std::size_t>(Blocks));
+  B.Values.assign(static_cast<std::size_t>(Blocks) *
+                      static_cast<std::size_t>(BlockSize) *
+                      static_cast<std::size_t>(BlockSize),
+                  T(0));
+
+  // Two passes per block row: discover the sorted block pattern, then fill.
+  std::vector<index_t> Slot(static_cast<std::size_t>(BlockCols), -1);
+  std::vector<index_t> Pattern;
+  std::int64_t Emitted = 0;
+  for (index_t Br = 0; Br < BlockRows; ++Br) {
+    Pattern.clear();
+    index_t RowEnd = std::min(A.NumRows, (Br + 1) * BlockSize);
+    for (index_t Row = Br * BlockSize; Row < RowEnd; ++Row)
+      for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
+        index_t Bc = A.ColIdx[I] / BlockSize;
+        if (Slot[static_cast<std::size_t>(Bc)] != Br) {
+          Slot[static_cast<std::size_t>(Bc)] = Br;
+          Pattern.push_back(Bc);
+        }
+      }
+    std::sort(Pattern.begin(), Pattern.end());
+    // Map block column -> index of its dense block in Values.
+    std::vector<std::pair<index_t, std::int64_t>> BlockOf(Pattern.size());
+    for (std::size_t K = 0; K != Pattern.size(); ++K) {
+      BlockOf[K] = {Pattern[K], Emitted};
+      B.ColIdx.push_back(Pattern[K]);
+      ++Emitted;
+    }
+    B.RowPtr[Br + 1] = static_cast<index_t>(Emitted);
+    for (index_t Row = Br * BlockSize; Row < RowEnd; ++Row) {
+      index_t LocalRow = Row - Br * BlockSize;
+      for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
+        index_t Bc = A.ColIdx[I] / BlockSize;
+        auto It = std::lower_bound(
+            BlockOf.begin(), BlockOf.end(), Bc,
+            [](const auto &Entry, index_t Col) { return Entry.first < Col; });
+        assert(It != BlockOf.end() && It->first == Bc && "pattern mismatch");
+        index_t LocalCol = A.ColIdx[I] - Bc * BlockSize;
+        B.Values[static_cast<std::size_t>(It->second) * BlockSize * BlockSize +
+                 static_cast<std::size_t>(LocalRow) * BlockSize + LocalCol] =
+            A.Values[I];
+      }
+    }
+  }
+  return true;
+}
+
+/// BSR -> CSR; block-padding zeros are dropped.
+template <typename T> CsrMatrix<T> bsrToCsr(const BsrMatrix<T> &A) {
+  std::vector<index_t> Rows, Cols;
+  std::vector<T> Vals;
+  index_t B = A.BlockSize;
+  for (index_t Br = 0; Br < A.numBlockRows(); ++Br)
+    for (index_t I = A.RowPtr[Br]; I < A.RowPtr[Br + 1]; ++I) {
+      index_t Bc = A.ColIdx[I];
+      const T *Block =
+          A.Values.data() + static_cast<std::size_t>(I) * B * B;
+      for (index_t R = 0; R < B; ++R)
+        for (index_t C = 0; C < B; ++C) {
+          T Val = Block[R * B + C];
+          if (Val == T(0))
+            continue;
+          index_t Row = Br * B + R, Col = Bc * B + C;
+          assert(Row < A.NumRows && Col < A.NumCols &&
+                 "padding must be zero outside the matrix");
+          Rows.push_back(Row);
+          Cols.push_back(Col);
+          Vals.push_back(Val);
+        }
+    }
+  return csrFromTriplets<T>(A.NumRows, A.NumCols, std::move(Rows),
+                            std::move(Cols), std::move(Vals));
+}
+
+/// \returns A^T in CSR format (used by AMG's Galerkin product and by the
+/// rectangular corpus generators).
+template <typename T> CsrMatrix<T> transposeCsr(const CsrMatrix<T> &A) {
+  CsrMatrix<T> B(A.NumCols, A.NumRows);
+  std::size_t Nnz = static_cast<std::size_t>(A.nnz());
+  B.ColIdx.resize(Nnz);
+  B.Values.resize(Nnz);
+  // Count per-column entries.
+  for (index_t Col : A.ColIdx)
+    ++B.RowPtr[Col + 1];
+  for (index_t Col = 0; Col < A.NumCols; ++Col)
+    B.RowPtr[Col + 1] += B.RowPtr[Col];
+  std::vector<index_t> Cursor(B.RowPtr.begin(), B.RowPtr.end() - 1);
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
+      index_t Dst = Cursor[A.ColIdx[I]]++;
+      B.ColIdx[Dst] = Row;
+      B.Values[Dst] = A.Values[I];
+    }
+  return B;
+}
+
+/// Converts a CSR matrix between value types (e.g. double -> float for the
+/// single-precision experiments).
+template <typename Dst, typename Src>
+CsrMatrix<Dst> convertValueType(const CsrMatrix<Src> &A) {
+  CsrMatrix<Dst> B;
+  B.NumRows = A.NumRows;
+  B.NumCols = A.NumCols;
+  B.RowPtr.assign(A.RowPtr.begin(), A.RowPtr.end());
+  B.ColIdx.assign(A.ColIdx.begin(), A.ColIdx.end());
+  B.Values.assign(A.Values.begin(), A.Values.end());
+  return B;
+}
+
+} // namespace smat
+
+#endif // SMAT_MATRIX_FORMATCONVERT_H

@@ -1,0 +1,397 @@
+//===- matrix/Generators.cpp - Synthetic sparse matrix generators ---------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matrix/Generators.h"
+
+#include "matrix/FormatConvert.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+using namespace smat;
+
+namespace {
+
+/// Shared triplet accumulator for the stencil generators.
+struct TripletBuilder {
+  index_t NumRows, NumCols;
+  std::vector<index_t> Rows, Cols;
+  std::vector<double> Vals;
+
+  TripletBuilder(index_t NumRows, index_t NumCols)
+      : NumRows(NumRows), NumCols(NumCols) {}
+
+  void add(index_t Row, index_t Col, double Val) {
+    Rows.push_back(Row);
+    Cols.push_back(Col);
+    Vals.push_back(Val);
+  }
+
+  CsrMatrix<double> build() {
+    return csrFromTriplets<double>(NumRows, NumCols, std::move(Rows),
+                                   std::move(Cols), std::move(Vals));
+  }
+};
+
+/// Draws \p Deg distinct column indices in [0, Cols) into \p Out.
+void sampleDistinctColumns(index_t Cols, index_t Deg, Rng &Rng,
+                           std::vector<index_t> &Out) {
+  Out.clear();
+  assert(Deg <= Cols && "cannot draw more distinct columns than exist");
+  if (Deg > Cols / 2) {
+    // Dense case: Floyd's algorithm degenerates; take a partial shuffle.
+    std::vector<index_t> All(Cols);
+    for (index_t I = 0; I < Cols; ++I)
+      All[I] = I;
+    for (index_t I = 0; I < Deg; ++I) {
+      index_t J = I + static_cast<index_t>(Rng.bounded(Cols - I));
+      std::swap(All[I], All[J]);
+      Out.push_back(All[I]);
+    }
+    return;
+  }
+  std::unordered_set<index_t> Seen;
+  while (static_cast<index_t>(Out.size()) < Deg) {
+    index_t Col = static_cast<index_t>(Rng.bounded(Cols));
+    if (Seen.insert(Col).second)
+      Out.push_back(Col);
+  }
+}
+
+} // namespace
+
+CsrMatrix<double> smat::laplace2d5pt(index_t Nx, index_t Ny) {
+  TripletBuilder B(Nx * Ny, Nx * Ny);
+  for (index_t Y = 0; Y < Ny; ++Y)
+    for (index_t X = 0; X < Nx; ++X) {
+      index_t Row = Y * Nx + X;
+      B.add(Row, Row, 4.0);
+      if (X > 0)
+        B.add(Row, Row - 1, -1.0);
+      if (X + 1 < Nx)
+        B.add(Row, Row + 1, -1.0);
+      if (Y > 0)
+        B.add(Row, Row - Nx, -1.0);
+      if (Y + 1 < Ny)
+        B.add(Row, Row + Nx, -1.0);
+    }
+  return B.build();
+}
+
+CsrMatrix<double> smat::laplace2d9pt(index_t Nx, index_t Ny) {
+  TripletBuilder B(Nx * Ny, Nx * Ny);
+  for (index_t Y = 0; Y < Ny; ++Y)
+    for (index_t X = 0; X < Nx; ++X) {
+      index_t Row = Y * Nx + X;
+      for (index_t Dy = -1; Dy <= 1; ++Dy)
+        for (index_t Dx = -1; Dx <= 1; ++Dx) {
+          index_t Xn = X + Dx, Yn = Y + Dy;
+          if (Xn < 0 || Xn >= Nx || Yn < 0 || Yn >= Ny)
+            continue;
+          index_t Col = Yn * Nx + Xn;
+          B.add(Row, Col, Row == Col ? 8.0 : -1.0);
+        }
+    }
+  return B.build();
+}
+
+CsrMatrix<double> smat::laplace3d7pt(index_t Nx, index_t Ny, index_t Nz) {
+  TripletBuilder B(Nx * Ny * Nz, Nx * Ny * Nz);
+  for (index_t Z = 0; Z < Nz; ++Z)
+    for (index_t Y = 0; Y < Ny; ++Y)
+      for (index_t X = 0; X < Nx; ++X) {
+        index_t Row = (Z * Ny + Y) * Nx + X;
+        B.add(Row, Row, 6.0);
+        if (X > 0)
+          B.add(Row, Row - 1, -1.0);
+        if (X + 1 < Nx)
+          B.add(Row, Row + 1, -1.0);
+        if (Y > 0)
+          B.add(Row, Row - Nx, -1.0);
+        if (Y + 1 < Ny)
+          B.add(Row, Row + Nx, -1.0);
+        if (Z > 0)
+          B.add(Row, Row - Nx * Ny, -1.0);
+        if (Z + 1 < Nz)
+          B.add(Row, Row + Nx * Ny, -1.0);
+      }
+  return B.build();
+}
+
+CsrMatrix<double> smat::laplace3d27pt(index_t Nx, index_t Ny, index_t Nz) {
+  TripletBuilder B(Nx * Ny * Nz, Nx * Ny * Nz);
+  for (index_t Z = 0; Z < Nz; ++Z)
+    for (index_t Y = 0; Y < Ny; ++Y)
+      for (index_t X = 0; X < Nx; ++X) {
+        index_t Row = (Z * Ny + Y) * Nx + X;
+        for (index_t Dz = -1; Dz <= 1; ++Dz)
+          for (index_t Dy = -1; Dy <= 1; ++Dy)
+            for (index_t Dx = -1; Dx <= 1; ++Dx) {
+              index_t Xn = X + Dx, Yn = Y + Dy, Zn = Z + Dz;
+              if (Xn < 0 || Xn >= Nx || Yn < 0 || Yn >= Ny || Zn < 0 ||
+                  Zn >= Nz)
+                continue;
+              index_t Col = (Zn * Ny + Yn) * Nx + Xn;
+              B.add(Row, Col, Row == Col ? 26.0 : -1.0);
+            }
+      }
+  return B.build();
+}
+
+CsrMatrix<double> smat::tridiagonal(index_t N) {
+  return multiDiagonal(N, {-1, 0, 1});
+}
+
+CsrMatrix<double> smat::banded(index_t N, index_t HalfBand) {
+  std::vector<index_t> Offsets;
+  for (index_t D = -HalfBand; D <= HalfBand; ++D)
+    Offsets.push_back(D);
+  return multiDiagonal(N, Offsets);
+}
+
+CsrMatrix<double> smat::multiDiagonal(index_t N,
+                                      const std::vector<index_t> &Offsets) {
+  TripletBuilder B(N, N);
+  for (index_t Offset : Offsets) {
+    assert(Offset > -N && Offset < N && "diagonal offset out of range");
+    index_t RowBegin = std::max(index_t(0), -Offset);
+    index_t RowEnd = std::min(N, N - Offset);
+    for (index_t Row = RowBegin; Row < RowEnd; ++Row)
+      B.add(Row, Row + Offset,
+            Offset == 0 ? 2.0 * static_cast<double>(Offsets.size()) : -1.0);
+  }
+  return B.build();
+}
+
+CsrMatrix<double> smat::brokenDiagonals(index_t N,
+                                        const std::vector<index_t> &Offsets,
+                                        double Occupancy, std::uint64_t Seed) {
+  Rng Rng(Seed);
+  TripletBuilder B(N, N);
+  for (index_t Offset : Offsets) {
+    index_t RowBegin = std::max(index_t(0), -Offset);
+    index_t RowEnd = std::min(N, N - Offset);
+    for (index_t Row = RowBegin; Row < RowEnd; ++Row) {
+      // Keep the main diagonal intact so the matrix stays usable in solvers.
+      if (Offset != 0 && Rng.uniform() >= Occupancy)
+        continue;
+      B.add(Row, Row + Offset, Offset == 0 ? 4.0 : -Rng.uniform(0.1, 1.0));
+    }
+  }
+  return B.build();
+}
+
+CsrMatrix<double> smat::boundedDegreeRandom(index_t Rows, index_t Cols,
+                                            index_t MinDeg, index_t MaxDeg,
+                                            std::uint64_t Seed) {
+  assert(MinDeg <= MaxDeg && MaxDeg <= Cols && "bad degree bounds");
+  Rng Rng(Seed);
+  TripletBuilder B(Rows, Cols);
+  std::vector<index_t> RowCols;
+  for (index_t Row = 0; Row < Rows; ++Row) {
+    index_t Deg = static_cast<index_t>(Rng.range(MinDeg, MaxDeg));
+    sampleDistinctColumns(Cols, Deg, Rng, RowCols);
+    for (index_t Col : RowCols)
+      B.add(Row, Col, Rng.uniform(-1.0, 1.0));
+  }
+  return B.build();
+}
+
+CsrMatrix<double> smat::erdosRenyi(index_t Rows, index_t Cols, double AvgDeg,
+                                   std::uint64_t Seed) {
+  Rng Rng(Seed);
+  TripletBuilder B(Rows, Cols);
+  std::vector<index_t> RowCols;
+  for (index_t Row = 0; Row < Rows; ++Row) {
+    // Poisson-ish degree via a geometric accumulation of uniforms.
+    index_t Deg = 0;
+    double Product = Rng.uniform();
+    double Threshold = std::exp(-AvgDeg);
+    while (Product > Threshold && Deg < Cols) {
+      ++Deg;
+      Product *= Rng.uniform();
+    }
+    sampleDistinctColumns(Cols, Deg, Rng, RowCols);
+    for (index_t Col : RowCols)
+      B.add(Row, Col, Rng.uniform(-1.0, 1.0));
+  }
+  return B.build();
+}
+
+CsrMatrix<double> smat::powerLawGraph(index_t N, double Exponent,
+                                      index_t MinDeg, index_t MaxDeg,
+                                      std::uint64_t Seed) {
+  assert(Exponent > 0 && "power-law exponent must be positive");
+  assert(MinDeg >= 1 && MinDeg <= MaxDeg && MaxDeg <= N && "bad degree range");
+  Rng Rng(Seed);
+  TripletBuilder B(N, N);
+  std::vector<index_t> RowCols;
+  // Inverse-CDF sampling of P(k) ~ k^-Exponent on [MinDeg, MaxDeg].
+  double OneMinusExp = 1.0 - Exponent;
+  double LoPow = std::pow(static_cast<double>(MinDeg), OneMinusExp);
+  double HiPow = std::pow(static_cast<double>(MaxDeg) + 1.0, OneMinusExp);
+  for (index_t Row = 0; Row < N; ++Row) {
+    double U = Rng.uniform();
+    double K;
+    if (std::abs(OneMinusExp) < 1e-9)
+      K = static_cast<double>(MinDeg) *
+          std::pow(static_cast<double>(MaxDeg + 1) / MinDeg, U);
+    else
+      K = std::pow(LoPow + U * (HiPow - LoPow), 1.0 / OneMinusExp);
+    index_t Deg = std::clamp(static_cast<index_t>(K), MinDeg, MaxDeg);
+    sampleDistinctColumns(N, Deg, Rng, RowCols);
+    for (index_t Col : RowCols)
+      B.add(Row, Col, 1.0);
+  }
+  return B.build();
+}
+
+CsrMatrix<double> smat::barabasiAlbert(index_t N, index_t EdgesPerNode,
+                                       std::uint64_t Seed) {
+  assert(EdgesPerNode >= 1 && N > EdgesPerNode && "bad BA parameters");
+  Rng Rng(Seed);
+  // Target list implements preferential attachment: every endpoint of every
+  // edge appears once, so sampling uniformly from it is degree-proportional.
+  std::vector<index_t> Endpoints;
+  std::vector<index_t> SrcRows, SrcCols;
+  auto AddEdge = [&](index_t U, index_t V) {
+    SrcRows.push_back(U);
+    SrcCols.push_back(V);
+    SrcRows.push_back(V);
+    SrcCols.push_back(U);
+    Endpoints.push_back(U);
+    Endpoints.push_back(V);
+  };
+  // Seed clique over the first EdgesPerNode + 1 vertices.
+  for (index_t U = 0; U <= EdgesPerNode; ++U)
+    for (index_t V = U + 1; V <= EdgesPerNode; ++V)
+      AddEdge(U, V);
+  for (index_t U = EdgesPerNode + 1; U < N; ++U) {
+    std::unordered_set<index_t> Chosen;
+    while (static_cast<index_t>(Chosen.size()) < EdgesPerNode) {
+      index_t V = Endpoints[Rng.bounded(Endpoints.size())];
+      if (V != U)
+        Chosen.insert(V);
+    }
+    for (index_t V : Chosen)
+      AddEdge(U, V);
+  }
+  std::vector<double> Vals(SrcRows.size(), 1.0);
+  return csrFromTriplets<double>(N, N, std::move(SrcRows), std::move(SrcCols),
+                                 std::move(Vals));
+}
+
+CsrMatrix<double> smat::blockFem(index_t NumBlocks, index_t BlockSize,
+                                 double CouplingPerRow, std::uint64_t Seed) {
+  Rng Rng(Seed);
+  index_t N = NumBlocks * BlockSize;
+  TripletBuilder B(N, N);
+  for (index_t Block = 0; Block < NumBlocks; ++Block) {
+    index_t Base = Block * BlockSize;
+    for (index_t I = 0; I < BlockSize; ++I)
+      for (index_t J = 0; J < BlockSize; ++J)
+        B.add(Base + I, Base + J,
+              I == J ? static_cast<double>(BlockSize) : Rng.uniform(-1, 1));
+  }
+  // Sparse random coupling between blocks.
+  std::int64_t Couplings =
+      static_cast<std::int64_t>(CouplingPerRow * static_cast<double>(N));
+  for (std::int64_t K = 0; K < Couplings; ++K) {
+    index_t Row = static_cast<index_t>(Rng.bounded(N));
+    index_t Col = static_cast<index_t>(Rng.bounded(N));
+    if (Row / BlockSize != Col / BlockSize)
+      B.add(Row, Col, Rng.uniform(-0.1, 0.1));
+  }
+  return B.build();
+}
+
+CsrMatrix<double> smat::circuitLike(index_t N, index_t NumDenseRows,
+                                    double DenseRowFill, std::uint64_t Seed) {
+  Rng Rng(Seed);
+  TripletBuilder B(N, N);
+  for (index_t Row = 0; Row < N; ++Row) {
+    B.add(Row, Row, 4.0);
+    // A couple of near-diagonal couplings.
+    if (Row + 1 < N && Rng.uniform() < 0.6)
+      B.add(Row, Row + 1, -1.0);
+    if (Row > 0 && Rng.uniform() < 0.6)
+      B.add(Row, Row - 1, -1.0);
+  }
+  std::vector<index_t> RowCols;
+  for (index_t K = 0; K < NumDenseRows; ++K) {
+    index_t Row = static_cast<index_t>(Rng.bounded(N));
+    index_t Deg = std::max<index_t>(
+        2, static_cast<index_t>(DenseRowFill * static_cast<double>(N)));
+    Deg = std::min(Deg, N);
+    sampleDistinctColumns(N, Deg, Rng, RowCols);
+    for (index_t Col : RowCols) {
+      B.add(Row, Col, Rng.uniform(-1.0, 1.0)); // dense row
+      B.add(Col, Row, Rng.uniform(-1.0, 1.0)); // dense column
+    }
+  }
+  return B.build();
+}
+
+CsrMatrix<double> smat::lpRectangular(index_t Rows, index_t Cols, index_t Deg,
+                                      std::uint64_t Seed) {
+  Rng Rng(Seed);
+  TripletBuilder B(Rows, Cols);
+  std::vector<index_t> RowCols;
+  index_t Effective = std::min(Deg, Cols);
+  for (index_t Row = 0; Row < Rows; ++Row) {
+    sampleDistinctColumns(Cols, Effective, Rng, RowCols);
+    for (index_t Col : RowCols)
+      B.add(Row, Col, Rng.uniform() < 0.5 ? 1.0 : -1.0);
+  }
+  return B.build();
+}
+
+CsrMatrix<double> smat::transferOperator(index_t FineRows, index_t Ratio,
+                                         std::uint64_t Seed) {
+  assert(Ratio >= 2 && "transfer operator needs a coarsening ratio >= 2");
+  Rng Rng(Seed);
+  index_t CoarseCols = std::max<index_t>(1, FineRows / Ratio);
+  TripletBuilder B(FineRows, CoarseCols);
+  for (index_t Row = 0; Row < FineRows; ++Row) {
+    index_t Home = std::min<index_t>(CoarseCols - 1, Row / Ratio);
+    if (Row % Ratio == 0) {
+      // C point: injection.
+      B.add(Row, Home, 1.0);
+      continue;
+    }
+    // F point: 2-4 interpolation weights on nearby coarse points.
+    index_t Deg = static_cast<index_t>(Rng.range(2, 4));
+    for (index_t K = 0; K < Deg; ++K) {
+      index_t Col = Home + static_cast<index_t>(Rng.range(-1, 1));
+      Col = std::clamp<index_t>(Col, 0, CoarseCols - 1);
+      B.add(Row, Col, Rng.uniform(0.1, 0.5));
+    }
+  }
+  return B.build();
+}
+
+CsrMatrix<double> smat::spikedRows(index_t N, index_t BaseDeg, index_t SpikeDeg,
+                                   double SpikeFraction, std::uint64_t Seed) {
+  Rng Rng(Seed);
+  TripletBuilder B(N, N);
+  std::vector<index_t> RowCols;
+  for (index_t Row = 0; Row < N; ++Row) {
+    index_t Deg = Rng.uniform() < SpikeFraction ? SpikeDeg : BaseDeg;
+    Deg = std::min(Deg, N);
+    sampleDistinctColumns(N, Deg, Rng, RowCols);
+    for (index_t Col : RowCols)
+      B.add(Row, Col, Rng.uniform(-1.0, 1.0));
+  }
+  return B.build();
+}
+
+void smat::randomizeValues(CsrMatrix<double> &A, std::uint64_t Seed) {
+  Rng Rng(Seed);
+  for (double &Val : A.Values)
+    Val = Rng.uniform(-1.0, 1.0);
+}

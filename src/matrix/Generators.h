@@ -1,0 +1,109 @@
+//===- matrix/Generators.h - Synthetic sparse matrix generators -*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized sparse matrix generators. These replace the UF sparse
+/// matrix collection (see DESIGN.md, substitution table): each generator
+/// exercises one of the structural axes SMAT's feature parameters measure —
+/// diagonal density (DIA), bounded/regular row degree (ELL), power-law
+/// degree distribution (COO), and irregular general structure (CSR).
+///
+/// All generators are deterministic given their seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_MATRIX_GENERATORS_H
+#define SMAT_MATRIX_GENERATORS_H
+
+#include "matrix/CsrMatrix.h"
+
+#include <vector>
+
+namespace smat {
+
+/// 2D 5-point Laplacian on an Nx x Ny grid (N = Nx*Ny rows).
+CsrMatrix<double> laplace2d5pt(index_t Nx, index_t Ny);
+
+/// 2D 9-point Laplacian on an Nx x Ny grid (the paper's "9pt" AMG input).
+CsrMatrix<double> laplace2d9pt(index_t Nx, index_t Ny);
+
+/// 3D 7-point Laplacian on an Nx x Ny x Nz grid (the paper's "7pt" input).
+CsrMatrix<double> laplace3d7pt(index_t Nx, index_t Ny, index_t Nz);
+
+/// 3D 27-point Laplacian on an Nx x Ny x Nz grid.
+CsrMatrix<double> laplace3d27pt(index_t Nx, index_t Ny, index_t Nz);
+
+/// Tridiagonal matrix of dimension N.
+CsrMatrix<double> tridiagonal(index_t N);
+
+/// Dense band of half-width \p HalfBand around the main diagonal.
+CsrMatrix<double> banded(index_t N, index_t HalfBand);
+
+/// Fully-occupied ("true") diagonals at the given offsets; the ideal DIA
+/// matrix. Offsets must be unique and in (-N, N).
+CsrMatrix<double> multiDiagonal(index_t N, const std::vector<index_t> &Offsets);
+
+/// Diagonals at the given offsets where each element is present with
+/// probability \p Occupancy — produces matrices whose NTdiags_ratio and
+/// ER_DIA degrade smoothly, the regime Figure 6(c) studies.
+CsrMatrix<double> brokenDiagonals(index_t N,
+                                  const std::vector<index_t> &Offsets,
+                                  double Occupancy, std::uint64_t Seed);
+
+/// Every row has a degree drawn uniformly from [MinDeg, MaxDeg] with
+/// distinct random columns: low var_RD, ELL-friendly.
+CsrMatrix<double> boundedDegreeRandom(index_t Rows, index_t Cols,
+                                      index_t MinDeg, index_t MaxDeg,
+                                      std::uint64_t Seed);
+
+/// Erdős–Rényi-style random matrix with expected average degree \p AvgDeg.
+CsrMatrix<double> erdosRenyi(index_t Rows, index_t Cols, double AvgDeg,
+                             std::uint64_t Seed);
+
+/// Scale-free matrix whose row degrees follow P(k) ~ k^-Exponent for
+/// k in [MinDeg, MaxDeg] with uniformly random columns — the small-world
+/// structure COO favors (paper Figure 6(e), exponent in [1, 4]).
+CsrMatrix<double> powerLawGraph(index_t N, double Exponent, index_t MinDeg,
+                                index_t MaxDeg, std::uint64_t Seed);
+
+/// Barabási–Albert preferential-attachment graph (symmetrized adjacency);
+/// \p EdgesPerNode new edges per added node.
+CsrMatrix<double> barabasiAlbert(index_t N, index_t EdgesPerNode,
+                                 std::uint64_t Seed);
+
+/// Block-diagonal dense blocks plus random sparse coupling: FEM/structural
+/// style matrices.
+CsrMatrix<double> blockFem(index_t NumBlocks, index_t BlockSize,
+                           double CouplingPerRow, std::uint64_t Seed);
+
+/// Sparse diagonal plus a few dense rows and columns: circuit-simulation
+/// style structure (high max_RD, high var_RD).
+CsrMatrix<double> circuitLike(index_t N, index_t NumDenseRows,
+                              double DenseRowFill, std::uint64_t Seed);
+
+/// Tall rectangular constraint-matrix style structure (linear programming).
+CsrMatrix<double> lpRectangular(index_t Rows, index_t Cols, index_t Deg,
+                                std::uint64_t Seed);
+
+/// AMG prolongation-operator structure: FineRows x (FineRows / Ratio) with
+/// injection rows (a single unit entry) interleaved with interpolation
+/// rows carrying 2-4 weights on nearby coarse points — the P matrices the
+/// SMAT-in-AMG experiment tunes (its R operators are the transpose).
+CsrMatrix<double> transferOperator(index_t FineRows, index_t Ratio,
+                                   std::uint64_t Seed);
+
+/// Mostly-uniform degree with a fraction of very heavy rows — stresses
+/// var_RD without a power-law tail.
+CsrMatrix<double> spikedRows(index_t N, index_t BaseDeg, index_t SpikeDeg,
+                             double SpikeFraction, std::uint64_t Seed);
+
+/// Random assignment of values in [-1, 1] to the pattern of \p A (in place).
+/// Useful for turning pattern-style generators into numeric test inputs.
+void randomizeValues(CsrMatrix<double> &A, std::uint64_t Seed);
+
+} // namespace smat
+
+#endif // SMAT_MATRIX_GENERATORS_H

@@ -1,0 +1,164 @@
+//===- matrix/MatrixMarket.cpp - MatrixMarket file I/O --------------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matrix/MatrixMarket.h"
+
+#include "matrix/FormatConvert.h"
+#include "support/Str.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace smat;
+
+namespace {
+
+enum class FieldKind { Real, Integer, Pattern };
+enum class SymmetryKind { General, Symmetric, SkewSymmetric };
+
+MatrixMarketResult fail(const std::string &Why) {
+  MatrixMarketResult R;
+  R.Error = Why;
+  return R;
+}
+
+} // namespace
+
+MatrixMarketResult smat::readMatrixMarketString(const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Line;
+
+  if (!std::getline(In, Line))
+    return fail("empty input");
+  auto Banner = splitWhitespace(Line);
+  if (Banner.size() < 5 || !startsWith(Banner[0], "%%MatrixMarket"))
+    return fail("missing %%MatrixMarket banner");
+  if (!equalsIgnoreCase(Banner[1], "matrix"))
+    return fail("only 'matrix' objects are supported");
+  if (!equalsIgnoreCase(Banner[2], "coordinate"))
+    return fail("only 'coordinate' (sparse) layout is supported");
+
+  FieldKind Field;
+  if (equalsIgnoreCase(Banner[3], "real"))
+    Field = FieldKind::Real;
+  else if (equalsIgnoreCase(Banner[3], "integer"))
+    Field = FieldKind::Integer;
+  else if (equalsIgnoreCase(Banner[3], "pattern"))
+    Field = FieldKind::Pattern;
+  else
+    return fail("unsupported field '" + Banner[3] +
+                "' (complex matrices are excluded, as in the paper)");
+
+  SymmetryKind Symmetry;
+  if (equalsIgnoreCase(Banner[4], "general"))
+    Symmetry = SymmetryKind::General;
+  else if (equalsIgnoreCase(Banner[4], "symmetric"))
+    Symmetry = SymmetryKind::Symmetric;
+  else if (equalsIgnoreCase(Banner[4], "skew-symmetric"))
+    Symmetry = SymmetryKind::SkewSymmetric;
+  else
+    return fail("unsupported symmetry '" + Banner[4] + "'");
+
+  // Skip comments and blank lines, then read the size line.
+  long long NumRows = -1, NumCols = -1, NumEntries = -1;
+  while (std::getline(In, Line)) {
+    std::string_view Trimmed = trim(Line);
+    if (Trimmed.empty() || Trimmed[0] == '%')
+      continue;
+    if (std::sscanf(std::string(Trimmed).c_str(), "%lld %lld %lld", &NumRows,
+                    &NumCols, &NumEntries) != 3)
+      return fail("malformed size line: '" + std::string(Trimmed) + "'");
+    break;
+  }
+  if (NumRows < 0 || NumCols < 0 || NumEntries < 0)
+    return fail("missing size line");
+  if (NumRows > (1LL << 31) - 2 || NumCols > (1LL << 31) - 2)
+    return fail("matrix dimensions exceed 32-bit index range");
+  if (NumEntries > NumRows * NumCols)
+    return fail("entry count exceeds matrix capacity");
+
+  std::vector<index_t> Rows, Cols;
+  std::vector<double> Vals;
+  // Cap the up-front reservation: a corrupt size line must not trigger a
+  // huge allocation before the (short) entry list runs out.
+  std::size_t Reserve = static_cast<std::size_t>(
+      std::min<long long>(NumEntries, 1 << 20));
+  Rows.reserve(Reserve);
+  Cols.reserve(Reserve);
+  Vals.reserve(Reserve);
+
+  long long Seen = 0;
+  while (Seen < NumEntries && std::getline(In, Line)) {
+    std::string_view Trimmed = trim(Line);
+    if (Trimmed.empty() || Trimmed[0] == '%')
+      continue;
+    long long Row = 0, Col = 0;
+    double Val = 1.0;
+    std::string Owned(Trimmed);
+    int Matched;
+    if (Field == FieldKind::Pattern)
+      Matched = std::sscanf(Owned.c_str(), "%lld %lld", &Row, &Col);
+    else
+      Matched = std::sscanf(Owned.c_str(), "%lld %lld %lf", &Row, &Col, &Val);
+    int Expected = Field == FieldKind::Pattern ? 2 : 3;
+    if (Matched != Expected)
+      return fail("malformed entry line: '" + Owned + "'");
+    if (Row < 1 || Row > NumRows || Col < 1 || Col > NumCols)
+      return fail("entry index out of range: '" + Owned + "'");
+    ++Seen;
+
+    index_t R = static_cast<index_t>(Row - 1);
+    index_t C = static_cast<index_t>(Col - 1);
+    Rows.push_back(R);
+    Cols.push_back(C);
+    Vals.push_back(Val);
+    if (Symmetry != SymmetryKind::General && R != C) {
+      Rows.push_back(C);
+      Cols.push_back(R);
+      Vals.push_back(Symmetry == SymmetryKind::SkewSymmetric ? -Val : Val);
+    }
+  }
+  if (Seen != NumEntries)
+    return fail("file ended before all entries were read");
+
+  MatrixMarketResult Result;
+  Result.Ok = true;
+  Result.Matrix = csrFromTriplets<double>(
+      static_cast<index_t>(NumRows), static_cast<index_t>(NumCols),
+      std::move(Rows), std::move(Cols), std::move(Vals));
+  return Result;
+}
+
+MatrixMarketResult smat::readMatrixMarketFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return fail("cannot open file '" + Path + "'");
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return readMatrixMarketString(Buffer.str());
+}
+
+std::string smat::writeMatrixMarketString(const CsrMatrix<double> &A) {
+  std::string Out = "%%MatrixMarket matrix coordinate real general\n";
+  Out += formatString("%d %d %lld\n", A.NumRows, A.NumCols,
+                      static_cast<long long>(A.nnz()));
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I)
+      Out += formatString("%d %d %.17g\n", Row + 1, A.ColIdx[I] + 1,
+                          A.Values[I]);
+  return Out;
+}
+
+bool smat::writeMatrixMarketFile(const std::string &Path,
+                                 const CsrMatrix<double> &A) {
+  std::ofstream OutFile(Path, std::ios::binary);
+  if (!OutFile)
+    return false;
+  OutFile << writeMatrixMarketString(A);
+  return static_cast<bool>(OutFile);
+}

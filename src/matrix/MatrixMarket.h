@@ -1,0 +1,47 @@
+//===- matrix/MatrixMarket.h - MatrixMarket file I/O ------------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reader/writer for the MatrixMarket coordinate format, the distribution
+/// format of the UF sparse matrix collection the paper trains on. Supports
+/// real / integer / pattern fields and general / symmetric / skew-symmetric
+/// symmetries. Complex matrices are rejected, mirroring the paper's
+/// exclusion of complex-valued inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_MATRIX_MATRIXMARKET_H
+#define SMAT_MATRIX_MATRIXMARKET_H
+
+#include "matrix/CsrMatrix.h"
+
+#include <string>
+
+namespace smat {
+
+/// Result of a MatrixMarket read.
+struct MatrixMarketResult {
+  bool Ok = false;
+  std::string Error;       ///< Human-readable reason when !Ok.
+  CsrMatrix<double> Matrix;
+};
+
+/// Parses MatrixMarket coordinate data from a string.
+MatrixMarketResult readMatrixMarketString(const std::string &Text);
+
+/// Reads a MatrixMarket file from disk.
+MatrixMarketResult readMatrixMarketFile(const std::string &Path);
+
+/// Serializes \p A as "matrix coordinate real general".
+std::string writeMatrixMarketString(const CsrMatrix<double> &A);
+
+/// Writes \p A to \p Path; \returns false on I/O failure.
+bool writeMatrixMarketFile(const std::string &Path,
+                           const CsrMatrix<double> &A);
+
+} // namespace smat
+
+#endif // SMAT_MATRIX_MATRIXMARKET_H

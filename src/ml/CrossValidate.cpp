@@ -1,0 +1,56 @@
+//===- ml/CrossValidate.cpp - k-fold model validation ---------------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/CrossValidate.h"
+
+#include "support/Rng.h"
+
+#include <numeric>
+
+using namespace smat;
+
+CrossValidationResult smat::crossValidate(const Dataset &Data,
+                                          const TreeConfig &Config,
+                                          int Folds) {
+  assert(Folds >= 2 && "cross-validation needs at least two folds");
+  assert(Data.size() >= static_cast<std::size_t>(Folds) &&
+         "fewer samples than folds");
+
+  // Deterministic shuffle so fold membership never aliases with any
+  // periodic structure of the input ordering.
+  std::vector<std::size_t> Order(Data.size());
+  std::iota(Order.begin(), Order.end(), std::size_t{0});
+  Rng Rng(0xc4a11edULL);
+  for (std::size_t I = Order.size(); I > 1; --I)
+    std::swap(Order[I - 1], Order[Rng.bounded(I)]);
+
+  CrossValidationResult Result;
+  Result.Folds = Folds;
+  for (int Fold = 0; Fold < Folds; ++Fold) {
+    Dataset Train, Validate;
+    for (std::size_t K = 0; K != Order.size(); ++K) {
+      const Sample &S = Data.Samples[Order[K]];
+      if (static_cast<int>(K % static_cast<std::size_t>(Folds)) == Fold)
+        Validate.Samples.push_back(S);
+      else
+        Train.Samples.push_back(S);
+    }
+
+    DecisionTree Tree;
+    Tree.build(Train, Config);
+    Result.MeanTreeAccuracy += Tree.accuracy(Validate);
+    Result.MeanLeaves += static_cast<double>(Tree.numLeaves());
+
+    RuleSet Rules = RuleSet::fromTree(Tree, Train);
+    Rules.orderByContribution(Train);
+    RuleSet Tailored = Rules.tailored(Train, 0.01);
+    Result.MeanRulesetAccuracy += Tailored.accuracy(Validate);
+  }
+  Result.MeanTreeAccuracy /= Folds;
+  Result.MeanRulesetAccuracy /= Folds;
+  Result.MeanLeaves /= Folds;
+  return Result;
+}

@@ -1,0 +1,41 @@
+//===- ml/CrossValidate.h - k-fold model validation -------------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// K-fold cross-validation over the feature database, used to pick and to
+/// defend the learner's hyperparameters (tree depth, pruning) without
+/// touching the held-out evaluation matrices. The paper tunes C5.0 with its
+/// defaults; this utility is how we demonstrate those defaults are sane for
+/// the reproduction's C4.5 learner (see bench/ablation_tree).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_ML_CROSSVALIDATE_H
+#define SMAT_ML_CROSSVALIDATE_H
+
+#include "ml/DecisionTree.h"
+#include "ml/RuleSet.h"
+
+namespace smat {
+
+/// Outcome of one cross-validation run.
+struct CrossValidationResult {
+  double MeanTreeAccuracy = 0;    ///< Tree accuracy on validation folds.
+  double MeanRulesetAccuracy = 0; ///< Tailored-ruleset accuracy, same folds.
+  double MeanLeaves = 0;          ///< Average pruned-tree leaf count.
+  int Folds = 0;
+};
+
+/// Runs \p Folds-fold cross-validation of the full learning pipeline
+/// (tree -> ruleset -> ordering -> tailoring) on \p Data. Folds are taken
+/// by sample index stride, matching splitCorpus' style; \p Data must hold
+/// at least \p Folds samples.
+CrossValidationResult crossValidate(const Dataset &Data,
+                                    const TreeConfig &Config, int Folds = 5);
+
+} // namespace smat
+
+#endif // SMAT_ML_CROSSVALIDATE_H

@@ -1,0 +1,27 @@
+//===- ml/Dataset.cpp - Labeled training data for the learner -------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Dataset.h"
+
+using namespace smat;
+
+std::array<std::size_t, NumFormats> Dataset::classCounts() const {
+  std::array<std::size_t, NumFormats> Counts{};
+  for (const Sample &S : Samples)
+    ++Counts[static_cast<int>(S.Label)];
+  return Counts;
+}
+
+FormatKind Dataset::majorityClass() const {
+  auto Counts = classCounts();
+  // Ties resolve to CSR (index 0), the paper's default format.
+  int Best = 0;
+  for (int C = 1; C < NumFormats; ++C)
+    if (Counts[static_cast<std::size_t>(C)] >
+        Counts[static_cast<std::size_t>(Best)])
+      Best = C;
+  return static_cast<FormatKind>(Best);
+}

@@ -1,0 +1,49 @@
+//===- ml/Dataset.h - Labeled training data for the learner -----*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The attribute dataset the C4.5-style learner trains on: one sample per
+/// corpus matrix, attributes = the 11 Table-2 features, label = the
+/// measured best storage format ("Best_Format" in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_ML_DATASET_H
+#define SMAT_ML_DATASET_H
+
+#include "features/FeatureExtractor.h"
+#include "matrix/Format.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace smat {
+
+/// One training record.
+struct Sample {
+  std::array<double, NumFeatures> X{};
+  FormatKind Label = FormatKind::CSR;
+  std::string Name; ///< Matrix name, for traces only.
+};
+
+/// A labeled dataset.
+struct Dataset {
+  std::vector<Sample> Samples;
+
+  std::size_t size() const { return Samples.size(); }
+  bool empty() const { return Samples.empty(); }
+
+  /// Per-class sample counts, indexed by FormatKind.
+  std::array<std::size_t, NumFormats> classCounts() const;
+
+  /// The majority class (CSR on ties, matching the paper's prior).
+  FormatKind majorityClass() const;
+};
+
+} // namespace smat
+
+#endif // SMAT_ML_DATASET_H

@@ -1,0 +1,245 @@
+//===- ml/DecisionTree.cpp - C4.5-style decision tree learner -------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/DecisionTree.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace smat;
+
+namespace {
+
+double entropyOf(const std::array<double, NumFormats> &Counts, double Total) {
+  if (Total <= 0)
+    return 0.0;
+  double H = 0.0;
+  for (double Count : Counts) {
+    if (Count <= 0)
+      continue;
+    double P = Count / Total;
+    H -= P * std::log2(P);
+  }
+  return H;
+}
+
+FormatKind majorityOf(const std::array<double, NumFormats> &Counts) {
+  int Best = 0;
+  for (int C = 1; C < NumFormats; ++C)
+    if (Counts[static_cast<std::size_t>(C)] >
+        Counts[static_cast<std::size_t>(Best)])
+      Best = C;
+  return static_cast<FormatKind>(Best);
+}
+
+/// C4.5's pessimistic error: upper confidence bound on the true error rate
+/// given \p Errors observed errors in \p Total samples, times Total.
+double pessimisticErrors(double Errors, double Total, double Z) {
+  if (Total <= 0)
+    return 0.0;
+  double F = Errors / Total;
+  double Z2 = Z * Z;
+  double Bound =
+      (F + Z2 / (2 * Total) +
+       Z * std::sqrt(F / Total - F * F / Total + Z2 / (4 * Total * Total))) /
+      (1 + Z2 / Total);
+  return Bound * Total;
+}
+
+struct Builder {
+  const Dataset &Data;
+  const TreeConfig &Config;
+
+  std::unique_ptr<TreeNode> grow(std::vector<std::size_t> &Indices,
+                                 int Depth) {
+    auto Node = std::make_unique<TreeNode>();
+    for (std::size_t I : Indices)
+      Node->ClassCounts[static_cast<int>(Data.Samples[I].Label)] += 1.0;
+    Node->Leaf = majorityOf(Node->ClassCounts);
+
+    if (Depth >= Config.MaxDepth || Indices.size() < Config.MinSamplesSplit ||
+        Node->leafErrors() == 0)
+      return Node;
+
+    int BestFeature = -1;
+    double BestThreshold = 0, BestGainRatio = 0;
+    findBestSplit(Indices, Node->ClassCounts, BestFeature, BestThreshold,
+                  BestGainRatio);
+    if (BestFeature < 0)
+      return Node;
+
+    std::vector<std::size_t> LeftIdx, RightIdx;
+    for (std::size_t I : Indices) {
+      if (Data.Samples[I].X[static_cast<std::size_t>(BestFeature)] <=
+          BestThreshold)
+        LeftIdx.push_back(I);
+      else
+        RightIdx.push_back(I);
+    }
+    if (LeftIdx.size() < Config.MinSamplesLeaf ||
+        RightIdx.size() < Config.MinSamplesLeaf)
+      return Node;
+
+    Node->IsLeaf = false;
+    Node->SplitFeature = BestFeature;
+    Node->Threshold = BestThreshold;
+    // Free the parent index list's memory pressure before recursing deep.
+    Indices.clear();
+    Indices.shrink_to_fit();
+    Node->Left = grow(LeftIdx, Depth + 1);
+    Node->Right = grow(RightIdx, Depth + 1);
+    return Node;
+  }
+
+  /// Exhaustive threshold search maximizing C4.5's gain ratio, restricted
+  /// (as in C4.5) to candidate splits whose information gain is at least the
+  /// mean gain of all candidates for the node.
+  void findBestSplit(const std::vector<std::size_t> &Indices,
+                     const std::array<double, NumFormats> &NodeCounts,
+                     int &BestFeature, double &BestThreshold,
+                     double &BestGainRatio) {
+    double Total = static_cast<double>(Indices.size());
+    double NodeEntropy = entropyOf(NodeCounts, Total);
+    BestFeature = -1;
+    BestGainRatio = 0;
+
+    struct Candidate {
+      int Feature;
+      double Threshold;
+      double Gain;
+      double GainRatio;
+    };
+    std::vector<Candidate> Candidates;
+
+    std::vector<std::pair<double, FormatKind>> Column(Indices.size());
+    for (int Feature = 0; Feature < NumFeatures; ++Feature) {
+      for (std::size_t K = 0; K != Indices.size(); ++K) {
+        const Sample &S = Data.Samples[Indices[K]];
+        Column[K] = {S.X[static_cast<std::size_t>(Feature)], S.Label};
+      }
+      std::sort(Column.begin(), Column.end(),
+                [](const auto &A, const auto &B) { return A.first < B.first; });
+
+      std::array<double, NumFormats> LeftCounts{};
+      double LeftTotal = 0;
+      for (std::size_t K = 0; K + 1 < Column.size(); ++K) {
+        LeftCounts[static_cast<int>(Column[K].second)] += 1.0;
+        LeftTotal += 1.0;
+        // Only between distinct attribute values.
+        if (Column[K].first == Column[K + 1].first)
+          continue;
+        double RightTotal = Total - LeftTotal;
+        std::array<double, NumFormats> RightCounts{};
+        for (int C = 0; C < NumFormats; ++C)
+          RightCounts[static_cast<std::size_t>(C)] =
+              NodeCounts[static_cast<std::size_t>(C)] -
+              LeftCounts[static_cast<std::size_t>(C)];
+        double SplitEntropy =
+            (LeftTotal / Total) * entropyOf(LeftCounts, LeftTotal) +
+            (RightTotal / Total) * entropyOf(RightCounts, RightTotal);
+        double Gain = NodeEntropy - SplitEntropy;
+        if (Gain <= 1e-12)
+          continue;
+        double PLeft = LeftTotal / Total;
+        double SplitInfo =
+            -(PLeft * std::log2(PLeft) + (1 - PLeft) * std::log2(1 - PLeft));
+        if (SplitInfo <= 1e-12)
+          continue;
+        double Threshold = (Column[K].first + Column[K + 1].first) / 2;
+        Candidates.push_back({Feature, Threshold, Gain, Gain / SplitInfo});
+      }
+    }
+    if (Candidates.empty())
+      return;
+
+    double MeanGain = 0;
+    for (const Candidate &C : Candidates)
+      MeanGain += C.Gain;
+    MeanGain /= static_cast<double>(Candidates.size());
+
+    for (const Candidate &C : Candidates) {
+      if (C.Gain + 1e-12 < MeanGain)
+        continue;
+      if (C.GainRatio > BestGainRatio) {
+        BestGainRatio = C.GainRatio;
+        BestFeature = C.Feature;
+        BestThreshold = C.Threshold;
+      }
+    }
+  }
+
+  /// Bottom-up pessimistic pruning: replace a subtree by a leaf when the
+  /// leaf's estimated error does not exceed the subtree's.
+  double pruneNode(TreeNode &Node) {
+    if (Node.IsLeaf)
+      return pessimisticErrors(Node.leafErrors(), Node.total(), Config.PruneZ);
+    double SubtreeEstimate = pruneNode(*Node.Left) + pruneNode(*Node.Right);
+    double LeafEstimate =
+        pessimisticErrors(Node.leafErrors(), Node.total(), Config.PruneZ);
+    if (LeafEstimate <= SubtreeEstimate + 0.1) {
+      Node.IsLeaf = true;
+      Node.Leaf = majorityOf(Node.ClassCounts);
+      Node.Left.reset();
+      Node.Right.reset();
+      return LeafEstimate;
+    }
+    return SubtreeEstimate;
+  }
+};
+
+std::size_t countNodes(const TreeNode *Node, bool LeavesOnly) {
+  if (!Node)
+    return 0;
+  if (Node->IsLeaf)
+    return 1;
+  std::size_t Below = countNodes(Node->Left.get(), LeavesOnly) +
+                      countNodes(Node->Right.get(), LeavesOnly);
+  return Below + (LeavesOnly ? 0 : 1);
+}
+
+} // namespace
+
+void DecisionTree::build(const Dataset &Data, const TreeConfig &Config) {
+  assert(!Data.empty() && "cannot train on an empty dataset");
+  std::vector<std::size_t> Indices(Data.size());
+  std::iota(Indices.begin(), Indices.end(), std::size_t{0});
+  Builder B{Data, Config};
+  Root = B.grow(Indices, 0);
+  if (Config.Prune)
+    B.pruneNode(*Root);
+}
+
+FormatKind DecisionTree::predict(
+    const std::array<double, NumFeatures> &X) const {
+  assert(Root && "predict() before build()");
+  const TreeNode *Node = Root.get();
+  while (!Node->IsLeaf)
+    Node = X[static_cast<std::size_t>(Node->SplitFeature)] <= Node->Threshold
+               ? Node->Left.get()
+               : Node->Right.get();
+  return Node->Leaf;
+}
+
+double DecisionTree::accuracy(const Dataset &Data) const {
+  if (Data.empty())
+    return 1.0;
+  std::size_t Correct = 0;
+  for (const Sample &S : Data.Samples)
+    if (predict(S.X) == S.Label)
+      ++Correct;
+  return static_cast<double>(Correct) / static_cast<double>(Data.size());
+}
+
+std::size_t DecisionTree::numLeaves() const {
+  return countNodes(Root.get(), /*LeavesOnly=*/true);
+}
+
+std::size_t DecisionTree::numNodes() const {
+  return countNodes(Root.get(), /*LeavesOnly=*/false);
+}

@@ -1,0 +1,83 @@
+//===- ml/DecisionTree.h - C4.5-style decision tree learner -----*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch C4.5-style decision tree: gain-ratio splits on continuous
+/// attributes and pessimistic (confidence-bound) error pruning. This is the
+/// open ancestor of the closed-source C5.0 tool the paper uses; see
+/// DESIGN.md's substitution table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_ML_DECISIONTREE_H
+#define SMAT_ML_DECISIONTREE_H
+
+#include "ml/Dataset.h"
+
+#include <memory>
+
+namespace smat {
+
+/// Learner configuration.
+struct TreeConfig {
+  int MaxDepth = 16;
+  std::size_t MinSamplesSplit = 4; ///< Don't split nodes smaller than this.
+  std::size_t MinSamplesLeaf = 1;  ///< Reject splits creating smaller leaves.
+  bool Prune = true;               ///< Pessimistic error pruning.
+  double PruneZ = 0.6744898;       ///< z for C4.5's default CF = 0.25.
+};
+
+/// One tree node. Interior nodes test X[SplitFeature] <= Threshold (left on
+/// true). Every node keeps its training class histogram so rules can carry
+/// coverage/confidence data.
+struct TreeNode {
+  bool IsLeaf = true;
+  FormatKind Leaf = FormatKind::CSR;
+  int SplitFeature = -1;
+  double Threshold = 0.0;
+  std::unique_ptr<TreeNode> Left, Right;
+  std::array<double, NumFormats> ClassCounts{};
+
+  /// Total training samples reaching this node.
+  double total() const {
+    double Sum = 0;
+    for (double Count : ClassCounts)
+      Sum += Count;
+    return Sum;
+  }
+
+  /// Training errors at this node if it were a leaf of its majority class.
+  double leafErrors() const {
+    double Max = 0;
+    for (double Count : ClassCounts)
+      Max = std::max(Max, Count);
+    return total() - Max;
+  }
+};
+
+/// C4.5-style classifier over FeatureVector attributes.
+class DecisionTree {
+public:
+  /// Builds (and optionally prunes) the tree from \p Data.
+  void build(const Dataset &Data, const TreeConfig &Config = TreeConfig());
+
+  /// \returns the predicted format for attribute vector \p X.
+  FormatKind predict(const std::array<double, NumFeatures> &X) const;
+
+  /// \returns fraction of correctly classified samples in \p Data.
+  double accuracy(const Dataset &Data) const;
+
+  const TreeNode *root() const { return Root.get(); }
+  std::size_t numLeaves() const;
+  std::size_t numNodes() const;
+
+private:
+  std::unique_ptr<TreeNode> Root;
+};
+
+} // namespace smat
+
+#endif // SMAT_ML_DECISIONTREE_H

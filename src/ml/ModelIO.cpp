@@ -1,0 +1,131 @@
+//===- ml/ModelIO.cpp - Ruleset (de)serialization -------------------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/ModelIO.h"
+
+#include "support/Str.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace smat;
+
+namespace {
+
+bool parseFeatureName(std::string_view Name, int &Index) {
+  for (int I = 0; I < NumFeatures; ++I)
+    if (Name == featureName(I)) {
+      Index = I;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+std::string smat::serializeRuleSet(const RuleSet &Set) {
+  std::string Out = "SMAT-RULESET v1\n";
+  Out += formatString("default %s %.17g\n",
+                      std::string(formatName(Set.DefaultFormat)).c_str(),
+                      Set.DefaultConfidence);
+  Out += formatString("rules %zu\n", Set.Rules.size());
+  for (const Rule &R : Set.Rules) {
+    Out += formatString("rule %s %.17g %.17g %.17g %zu\n",
+                        std::string(formatName(R.Format)).c_str(),
+                        R.Confidence, R.Covered, R.Correct,
+                        R.Conditions.size());
+    for (const Condition &C : R.Conditions)
+      Out += formatString("  %s %s %.17g\n", featureName(C.Feature),
+                          C.LessEq ? "<=" : ">", C.Threshold);
+  }
+  return Out;
+}
+
+bool smat::parseRuleSet(const std::string &Text, RuleSet &Set,
+                        std::string &Error) {
+  Set = RuleSet();
+  std::istringstream In(Text);
+  std::string Line;
+
+  auto Fail = [&Error](const std::string &Why) {
+    Error = Why;
+    return false;
+  };
+
+  if (!std::getline(In, Line) || trim(Line) != "SMAT-RULESET v1")
+    return Fail("missing SMAT-RULESET v1 header");
+
+  if (!std::getline(In, Line))
+    return Fail("missing default line");
+  auto DefaultParts = splitWhitespace(Line);
+  if (DefaultParts.size() != 3 || DefaultParts[0] != "default" ||
+      !parseFormatName(DefaultParts[1], Set.DefaultFormat))
+    return Fail("malformed default line: '" + Line + "'");
+  Set.DefaultConfidence = std::strtod(DefaultParts[2].c_str(), nullptr);
+
+  if (!std::getline(In, Line))
+    return Fail("missing rules count line");
+  auto CountParts = splitWhitespace(Line);
+  if (CountParts.size() != 2 || CountParts[0] != "rules")
+    return Fail("malformed rules count line: '" + Line + "'");
+  std::size_t NumRules = std::strtoull(CountParts[1].c_str(), nullptr, 10);
+
+  for (std::size_t R = 0; R != NumRules; ++R) {
+    if (!std::getline(In, Line))
+      return Fail("unexpected end of input inside rule list");
+    auto RuleParts = splitWhitespace(Line);
+    if (RuleParts.size() != 6 || RuleParts[0] != "rule")
+      return Fail("malformed rule line: '" + Line + "'");
+    Rule NewRule;
+    if (!parseFormatName(RuleParts[1], NewRule.Format))
+      return Fail("unknown format in rule line: '" + Line + "'");
+    NewRule.Confidence = std::strtod(RuleParts[2].c_str(), nullptr);
+    NewRule.Covered = std::strtod(RuleParts[3].c_str(), nullptr);
+    NewRule.Correct = std::strtod(RuleParts[4].c_str(), nullptr);
+    std::size_t NumConds = std::strtoull(RuleParts[5].c_str(), nullptr, 10);
+    for (std::size_t C = 0; C != NumConds; ++C) {
+      if (!std::getline(In, Line))
+        return Fail("unexpected end of input inside condition list");
+      auto CondParts = splitWhitespace(Line);
+      if (CondParts.size() != 3)
+        return Fail("malformed condition line: '" + Line + "'");
+      Condition Cond;
+      if (!parseFeatureName(CondParts[0], Cond.Feature))
+        return Fail("unknown feature in condition: '" + Line + "'");
+      if (CondParts[1] == "<=")
+        Cond.LessEq = true;
+      else if (CondParts[1] == ">")
+        Cond.LessEq = false;
+      else
+        return Fail("unknown comparator in condition: '" + Line + "'");
+      Cond.Threshold = std::strtod(CondParts[2].c_str(), nullptr);
+      NewRule.Conditions.push_back(Cond);
+    }
+    Set.Rules.push_back(std::move(NewRule));
+  }
+  return true;
+}
+
+bool smat::saveRuleSetFile(const std::string &Path, const RuleSet &Set) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << serializeRuleSet(Set);
+  return static_cast<bool>(Out);
+}
+
+bool smat::loadRuleSetFile(const std::string &Path, RuleSet &Set,
+                           std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open file '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return parseRuleSet(Buffer.str(), Set, Error);
+}

@@ -1,0 +1,37 @@
+//===- ml/ModelIO.h - Ruleset (de)serialization -----------------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text (de)serialization of ruleset models, enabling the paper's "train
+/// once off-line, reuse for every input matrix" workflow: the learning
+/// model is written to disk after training and reloaded by later runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_ML_MODELIO_H
+#define SMAT_ML_MODELIO_H
+
+#include "ml/RuleSet.h"
+
+#include <string>
+
+namespace smat {
+
+/// Serializes \p Set into a line-oriented text form (stable, diffable).
+std::string serializeRuleSet(const RuleSet &Set);
+
+/// Parses a ruleset produced by serializeRuleSet.
+/// \returns true on success; on failure \p Error describes the problem.
+bool parseRuleSet(const std::string &Text, RuleSet &Set, std::string &Error);
+
+/// File convenience wrappers.
+bool saveRuleSetFile(const std::string &Path, const RuleSet &Set);
+bool loadRuleSetFile(const std::string &Path, RuleSet &Set,
+                     std::string &Error);
+
+} // namespace smat
+
+#endif // SMAT_ML_MODELIO_H

@@ -1,0 +1,179 @@
+//===- ml/RuleSet.cpp - Ruleset classifier with confidence ----------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/RuleSet.h"
+
+#include "support/Str.h"
+
+#include <algorithm>
+
+using namespace smat;
+
+std::string Condition::toString() const {
+  return formatString("%s %s %g", featureName(Feature), LessEq ? "<=" : ">",
+                      Threshold);
+}
+
+std::string Rule::toString() const {
+  std::string Out = "IF ";
+  for (std::size_t I = 0; I != Conditions.size(); ++I) {
+    if (I)
+      Out += " AND ";
+    Out += Conditions[I].toString();
+  }
+  if (Conditions.empty())
+    Out += "TRUE";
+  Out += formatString(" THEN %s  [conf %.3f, %g/%g]",
+                      std::string(formatName(Format)).c_str(), Confidence,
+                      Correct, Covered);
+  return Out;
+}
+
+namespace {
+
+void collectRules(const TreeNode *Node, std::vector<Condition> &Path,
+                  std::vector<Rule> &Rules) {
+  if (Node->IsLeaf) {
+    Rule R;
+    R.Conditions = Path;
+    R.Format = Node->Leaf;
+    Rules.push_back(std::move(R));
+    return;
+  }
+  Path.push_back({Node->SplitFeature, /*LessEq=*/true, Node->Threshold});
+  collectRules(Node->Left.get(), Path, Rules);
+  Path.back().LessEq = false;
+  collectRules(Node->Right.get(), Path, Rules);
+  Path.pop_back();
+}
+
+} // namespace
+
+RuleSet RuleSet::fromTree(const DecisionTree &Tree, const Dataset &Data) {
+  RuleSet Set;
+  std::vector<Condition> Path;
+  collectRules(Tree.root(), Path, Set.Rules);
+
+  for (Rule &R : Set.Rules) {
+    for (const Sample &S : Data.Samples) {
+      if (!R.matches(S.X))
+        continue;
+      R.Covered += 1;
+      if (S.Label == R.Format)
+        R.Correct += 1;
+    }
+    // Laplace correction keeps confidences in (0, 1) and penalizes tiny
+    // rules, exactly what the runtime's threshold gate needs.
+    R.Confidence = (R.Correct + 1.0) / (R.Covered + 2.0);
+  }
+
+  Set.DefaultFormat = Data.majorityClass();
+  auto Counts = Data.classCounts();
+  double Total = static_cast<double>(Data.size());
+  if (Total > 0)
+    Set.DefaultConfidence =
+        static_cast<double>(Counts[static_cast<int>(Set.DefaultFormat)]) /
+        Total;
+  return Set;
+}
+
+void RuleSet::orderByContribution(const Dataset &Data) {
+  // Greedy: repeatedly append the rule that classifies the most additional
+  // (not-yet-claimed) samples correctly, net of new errors it introduces.
+  std::vector<bool> Claimed(Data.size(), false);
+  std::vector<Rule> Ordered;
+  std::vector<bool> Used(Rules.size(), false);
+  Ordered.reserve(Rules.size());
+
+  for (std::size_t Round = 0; Round != Rules.size(); ++Round) {
+    double BestScore = -1e300;
+    std::size_t BestRule = 0;
+    bool Found = false;
+    for (std::size_t R = 0; R != Rules.size(); ++R) {
+      if (Used[R])
+        continue;
+      double Score = 0;
+      for (std::size_t S = 0; S != Data.size(); ++S) {
+        if (Claimed[S] || !Rules[R].matches(Data.Samples[S].X))
+          continue;
+        Score += Data.Samples[S].Label == Rules[R].Format ? 1.0 : -1.0;
+      }
+      // Confidence as tiebreaker keeps reliable rules first among equals.
+      Score += Rules[R].Confidence * 0.5;
+      if (!Found || Score > BestScore) {
+        Found = true;
+        BestScore = Score;
+        BestRule = R;
+      }
+    }
+    Used[BestRule] = true;
+    for (std::size_t S = 0; S != Data.size(); ++S)
+      if (!Claimed[S] && Rules[BestRule].matches(Data.Samples[S].X))
+        Claimed[S] = true;
+    Ordered.push_back(std::move(Rules[BestRule]));
+  }
+  Rules = std::move(Ordered);
+}
+
+RuleSet RuleSet::tailored(const Dataset &Data, double MaxAccuracyLoss) const {
+  double FullAccuracy = accuracy(Data);
+  RuleSet Prefix;
+  Prefix.DefaultFormat = DefaultFormat;
+  Prefix.DefaultConfidence = DefaultConfidence;
+  for (const Rule &R : Rules) {
+    Prefix.Rules.push_back(R);
+    if (Prefix.accuracy(Data) + MaxAccuracyLoss >= FullAccuracy)
+      return Prefix;
+  }
+  return Prefix;
+}
+
+RulePrediction
+RuleSet::classify(const std::array<double, NumFeatures> &X) const {
+  for (std::size_t R = 0; R != Rules.size(); ++R)
+    if (Rules[R].matches(X))
+      return {Rules[R].Format, Rules[R].Confidence, true,
+              static_cast<int>(R)};
+  return {DefaultFormat, DefaultConfidence, true, -1};
+}
+
+double
+RuleSet::groupConfidence(FormatKind Format,
+                         const std::array<double, NumFeatures> &X) const {
+  double Best = 0;
+  for (const Rule &R : Rules)
+    if (R.Format == Format && R.matches(X))
+      Best = std::max(Best, R.Confidence);
+  return Best;
+}
+
+RulePrediction
+RuleSet::predictOptimistic(const std::array<double, NumFeatures> &X,
+                           double Threshold) const {
+  // Optimistic early exit over the format groups (paper Figure 7). The
+  // group order trades prediction latency for performance: DIA first since
+  // it wins biggest when it applies.
+  for (FormatKind Kind : RuleGroupOrder) {
+    double Confidence = groupConfidence(Kind, X);
+    if (Confidence > Threshold)
+      return {Kind, Confidence, true, 0};
+  }
+  // No confident group: fall back to first-match, flagged unconfident so the
+  // runtime triggers execute-and-measure.
+  RulePrediction P = classify(X);
+  P.Confident = P.Confidence > Threshold;
+  return P;
+}
+
+double RuleSet::accuracy(const Dataset &Data) const {
+  if (Data.empty())
+    return 1.0;
+  std::size_t Correct = 0;
+  for (const Sample &S : Data.Samples)
+    if (classify(S.X).Format == S.Label)
+      ++Correct;
+  return static_cast<double>(Correct) / static_cast<double>(Data.size());
+}

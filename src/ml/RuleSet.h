@@ -1,0 +1,114 @@
+//===- ml/RuleSet.h - Ruleset classifier with confidence --------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ruleset learning model (paper Sections 5.1 and 6): rules extracted
+/// from the decision tree, each with a confidence factor (ratio of correctly
+/// classified to covered training matrices); rules ordered by estimated
+/// contribution to training accuracy; the ruleset tailored top-down until
+/// the prefix is within 1% of the full set's accuracy; rules grouped per
+/// format with the group confidence compared to a threshold at runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_ML_RULESET_H
+#define SMAT_ML_RULESET_H
+
+#include "ml/DecisionTree.h"
+
+#include <string>
+#include <vector>
+
+namespace smat {
+
+/// One conjunct of a rule: X[Feature] <= Threshold or X[Feature] > Threshold.
+struct Condition {
+  int Feature = 0;
+  bool LessEq = true;
+  double Threshold = 0.0;
+
+  bool matches(const std::array<double, NumFeatures> &X) const {
+    double V = X[static_cast<std::size_t>(Feature)];
+    return LessEq ? V <= Threshold : V > Threshold;
+  }
+
+  std::string toString() const;
+};
+
+/// An IF-THEN rule with training statistics.
+struct Rule {
+  std::vector<Condition> Conditions;
+  FormatKind Format = FormatKind::CSR;
+  double Covered = 0;    ///< Training samples matching the rule.
+  double Correct = 0;    ///< Of those, samples whose label == Format.
+  double Confidence = 0; ///< Laplace-corrected Correct / Covered, in (0, 1).
+
+  bool matches(const std::array<double, NumFeatures> &X) const {
+    for (const Condition &C : Conditions)
+      if (!C.matches(X))
+        return false;
+    return true;
+  }
+
+  std::string toString() const;
+};
+
+/// Result of a ruleset prediction.
+struct RulePrediction {
+  FormatKind Format = FormatKind::CSR;
+  double Confidence = 0.0;
+  bool Confident = false; ///< Group confidence exceeded the threshold.
+  int RuleIndex = -1;     ///< Deciding rule; -1 when the default class fired.
+};
+
+/// An ordered ruleset classifier.
+class RuleSet {
+public:
+  std::vector<Rule> Rules;
+  FormatKind DefaultFormat = FormatKind::CSR;
+  /// Confidence attached to the default class (its training accuracy over
+  /// samples no rule matches).
+  double DefaultConfidence = 0.5;
+
+  /// Extracts one rule per leaf of \p Tree, computing coverage statistics
+  /// and Laplace confidence from \p Data.
+  static RuleSet fromTree(const DecisionTree &Tree, const Dataset &Data);
+
+  /// Reorders rules by estimated contribution: greedily pick the rule that
+  /// corrects the most yet-uncovered training samples (paper Section 6,
+  /// "rules reducing error rate the most appear first").
+  void orderByContribution(const Dataset &Data);
+
+  /// Tailors top-down: keeps the shortest rule prefix whose training
+  /// accuracy is within \p MaxAccuracyLoss of the full set's (paper uses
+  /// 1%). \returns the tailored ruleset.
+  RuleSet tailored(const Dataset &Data,
+                   double MaxAccuracyLoss = 0.01) const;
+
+  /// First-match ordered classification (C5.0 ruleset semantics).
+  RulePrediction classify(const std::array<double, NumFeatures> &X) const;
+
+  /// The paper's runtime procedure (Figure 7): walk the format rule groups
+  /// in DIA -> ELL -> CSR -> COO order; the first group with a matching rule
+  /// whose group confidence exceeds \p Threshold decides. When no group is
+  /// confident, falls back to first-match classification with
+  /// Confident=false, signalling the execute-and-measure path.
+  RulePrediction predictOptimistic(const std::array<double, NumFeatures> &X,
+                                   double Threshold) const;
+
+  /// Max confidence among *matching* rules of \p Format; 0 when none match.
+  double groupConfidence(FormatKind Format,
+                         const std::array<double, NumFeatures> &X) const;
+
+  /// Fraction of \p Data classified correctly by first-match semantics.
+  double accuracy(const Dataset &Data) const;
+
+  std::size_t size() const { return Rules.size(); }
+};
+
+} // namespace smat
+
+#endif // SMAT_ML_RULESET_H

@@ -1,0 +1,130 @@
+//===- ref/RefSpmv.cpp - Fixed-interface baseline SpMV library ------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ref/RefSpmv.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace smat;
+
+namespace {
+
+template <typename T>
+void csrRef(const CsrMatrix<T> &A, const T *SMAT_RESTRICT X,
+            T *SMAT_RESTRICT Y) {
+  for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    T Sum = T(0);
+    for (index_t I = A.RowPtr[Row], E = A.RowPtr[Row + 1]; I < E; ++I)
+      Sum += A.Values[I] * X[A.ColIdx[I]];
+    Y[Row] = Sum;
+  }
+}
+
+template <typename T>
+void cooRef(const CooMatrix<T> &A, const T *SMAT_RESTRICT X,
+            T *SMAT_RESTRICT Y) {
+  std::memset(Y, 0, sizeof(T) * static_cast<std::size_t>(A.NumRows));
+  std::int64_t Nnz = A.nnz();
+  for (std::int64_t I = 0; I < Nnz; ++I)
+    Y[A.Rows[I]] += A.Values[I] * X[A.Cols[I]];
+}
+
+template <typename T>
+void diaRef(const DiaMatrix<T> &A, const T *SMAT_RESTRICT X,
+            T *SMAT_RESTRICT Y) {
+  std::memset(Y, 0, sizeof(T) * static_cast<std::size_t>(A.NumRows));
+  index_t Stride = A.stride();
+  for (index_t D = 0; D < A.numDiags(); ++D) {
+    index_t K = A.Offsets[D];
+    index_t IStart = std::max(index_t(0), -K);
+    index_t JStart = std::max(index_t(0), K);
+    index_t N = std::min(A.NumRows - IStart, A.NumCols - JStart);
+    for (index_t I = 0; I < N; ++I)
+      Y[IStart + I] +=
+          A.Data[static_cast<std::size_t>(D) * Stride + IStart + I] *
+          X[JStart + I];
+  }
+}
+
+template <typename T>
+void ellRef(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
+            T *SMAT_RESTRICT Y) {
+  std::memset(Y, 0, sizeof(T) * static_cast<std::size_t>(A.NumRows));
+  for (index_t C = 0; C < A.Width; ++C)
+    for (index_t Row = 0; Row < A.NumRows; ++Row) {
+      std::size_t I = static_cast<std::size_t>(C) * A.NumRows + Row;
+      Y[Row] += A.Data[I] * X[A.Indices[I]];
+    }
+}
+
+} // namespace
+
+void smat::ref_scsrgemv(const CsrMatrix<float> &A, const float *X, float *Y) {
+  csrRef(A, X, Y);
+}
+void smat::ref_scoogemv(const CooMatrix<float> &A, const float *X, float *Y) {
+  cooRef(A, X, Y);
+}
+void smat::ref_sdiagemv(const DiaMatrix<float> &A, const float *X, float *Y) {
+  diaRef(A, X, Y);
+}
+void smat::ref_sellgemv(const EllMatrix<float> &A, const float *X, float *Y) {
+  ellRef(A, X, Y);
+}
+
+void smat::ref_dcsrgemv(const CsrMatrix<double> &A, const double *X,
+                        double *Y) {
+  csrRef(A, X, Y);
+}
+void smat::ref_dcoogemv(const CooMatrix<double> &A, const double *X,
+                        double *Y) {
+  cooRef(A, X, Y);
+}
+void smat::ref_ddiagemv(const DiaMatrix<double> &A, const double *X,
+                        double *Y) {
+  diaRef(A, X, Y);
+}
+void smat::ref_dellgemv(const EllMatrix<double> &A, const double *X,
+                        double *Y) {
+  ellRef(A, X, Y);
+}
+
+template <typename T>
+void smat::refCsrSpmv(const CsrMatrix<T> &A, const T *X, T *Y) {
+  csrRef(A, X, Y);
+}
+template <typename T>
+void smat::refCooSpmv(const CooMatrix<T> &A, const T *X, T *Y) {
+  cooRef(A, X, Y);
+}
+template <typename T>
+void smat::refDiaSpmv(const DiaMatrix<T> &A, const T *X, T *Y) {
+  diaRef(A, X, Y);
+}
+template <typename T>
+void smat::refEllSpmv(const EllMatrix<T> &A, const T *X, T *Y) {
+  ellRef(A, X, Y);
+}
+
+template void smat::refCsrSpmv(const CsrMatrix<float> &, const float *,
+                               float *);
+template void smat::refCsrSpmv(const CsrMatrix<double> &, const double *,
+                               double *);
+template void smat::refCooSpmv(const CooMatrix<float> &, const float *,
+                               float *);
+template void smat::refCooSpmv(const CooMatrix<double> &, const double *,
+                               double *);
+template void smat::refDiaSpmv(const DiaMatrix<float> &, const float *,
+                               float *);
+template void smat::refDiaSpmv(const DiaMatrix<double> &, const double *,
+                               double *);
+template void smat::refEllSpmv(const EllMatrix<float> &, const float *,
+                               float *);
+template void smat::refEllSpmv(const EllMatrix<double> &, const double *,
+                               double *);

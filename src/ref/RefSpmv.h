@@ -1,0 +1,70 @@
+//===- ref/RefSpmv.h - Fixed-interface baseline SpMV library ----*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison baseline: an MKL-style sparse BLAS facade with one entry
+/// point per storage format (paper Figure 5 contrasts MKL's six per-format
+/// calls with SMAT's single CSR call). Functions follow MKL's naming scheme
+/// `ref_<x><format>gemv` where <x> is s/d for single/double precision.
+///
+/// Each function computes y := A * x with a straightforward implementation;
+/// the burden of choosing the right format rests entirely on the caller —
+/// which is precisely the productivity problem SMAT removes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_REF_REFSPMV_H
+#define SMAT_REF_REFSPMV_H
+
+#include "matrix/CooMatrix.h"
+#include "matrix/CsrMatrix.h"
+#include "matrix/DiaMatrix.h"
+#include "matrix/EllMatrix.h"
+
+namespace smat {
+
+// Single precision.
+void ref_scsrgemv(const CsrMatrix<float> &A, const float *X, float *Y);
+void ref_scoogemv(const CooMatrix<float> &A, const float *X, float *Y);
+void ref_sdiagemv(const DiaMatrix<float> &A, const float *X, float *Y);
+void ref_sellgemv(const EllMatrix<float> &A, const float *X, float *Y);
+
+// Double precision.
+void ref_dcsrgemv(const CsrMatrix<double> &A, const double *X, double *Y);
+void ref_dcoogemv(const CooMatrix<double> &A, const double *X, double *Y);
+void ref_ddiagemv(const DiaMatrix<double> &A, const double *X, double *Y);
+void ref_dellgemv(const EllMatrix<double> &A, const double *X, double *Y);
+
+/// Precision-generic dispatchers for templated benchmark/test code.
+template <typename T>
+void refCsrSpmv(const CsrMatrix<T> &A, const T *X, T *Y);
+template <typename T>
+void refCooSpmv(const CooMatrix<T> &A, const T *X, T *Y);
+template <typename T>
+void refDiaSpmv(const DiaMatrix<T> &A, const T *X, T *Y);
+template <typename T>
+void refEllSpmv(const EllMatrix<T> &A, const T *X, T *Y);
+
+extern template void refCsrSpmv(const CsrMatrix<float> &, const float *,
+                                float *);
+extern template void refCsrSpmv(const CsrMatrix<double> &, const double *,
+                                double *);
+extern template void refCooSpmv(const CooMatrix<float> &, const float *,
+                                float *);
+extern template void refCooSpmv(const CooMatrix<double> &, const double *,
+                                double *);
+extern template void refDiaSpmv(const DiaMatrix<float> &, const float *,
+                                float *);
+extern template void refDiaSpmv(const DiaMatrix<double> &, const double *,
+                                double *);
+extern template void refEllSpmv(const EllMatrix<float> &, const float *,
+                                float *);
+extern template void refEllSpmv(const EllMatrix<double> &, const double *,
+                                double *);
+
+} // namespace smat
+
+#endif // SMAT_REF_REFSPMV_H

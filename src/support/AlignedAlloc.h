@@ -1,0 +1,65 @@
+//===- support/AlignedAlloc.h - Cache-line aligned storage ------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An STL allocator producing 64-byte aligned storage, plus the AlignedVector
+/// alias used for all kernel-visible arrays so SIMD loads never straddle
+/// cache lines at the buffer start.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_SUPPORT_ALIGNEDALLOC_H
+#define SMAT_SUPPORT_ALIGNEDALLOC_H
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace smat {
+
+/// STL-compatible allocator that hands out \p Alignment-aligned blocks.
+template <typename T, std::size_t Alignment = 64> class AlignedAllocator {
+public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment> &) noexcept {}
+
+  template <typename U> struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T *allocate(std::size_t N) {
+    if (N == 0)
+      return nullptr;
+    // std::aligned_alloc requires the size to be a multiple of the alignment.
+    std::size_t Bytes = N * sizeof(T);
+    std::size_t Rounded = (Bytes + Alignment - 1) / Alignment * Alignment;
+    void *P = std::aligned_alloc(Alignment, Rounded);
+    if (!P)
+      throw std::bad_alloc();
+    return static_cast<T *>(P);
+  }
+
+  void deallocate(T *P, std::size_t) noexcept { std::free(P); }
+
+  friend bool operator==(const AlignedAllocator &, const AlignedAllocator &) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator &, const AlignedAllocator &) {
+    return false;
+  }
+};
+
+/// The vector type used for all numeric payload arrays in the library.
+template <typename T> using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace smat
+
+#endif // SMAT_SUPPORT_ALIGNEDALLOC_H

@@ -1,0 +1,92 @@
+//===- support/Rng.h - Deterministic random number generation ---*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64 / xoshiro256** pseudo random generators. Every generator in the
+/// synthetic corpus is seeded explicitly so the whole training pipeline is
+/// bit-reproducible across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_SUPPORT_RNG_H
+#define SMAT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace smat {
+
+/// SplitMix64; used for seeding and for cheap one-shot hashes.
+inline std::uint64_t splitMix64(std::uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t Seed = 0x5eed5eedULL) {
+    std::uint64_t S = Seed;
+    for (auto &Word : State)
+      Word = splitMix64(S);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    std::uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    std::uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi) { return Lo + (Hi - Lo) * uniform(); }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  std::uint64_t bounded(std::uint64_t Bound) {
+    assert(Bound > 0 && "bounded() requires a positive bound");
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible for
+    // the bounds used here (all far below 2^32).
+    unsigned __int128 Product =
+        static_cast<unsigned __int128>((*this)()) * Bound;
+    return static_cast<std::uint64_t>(Product >> 64);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  std::int64_t range(std::int64_t Lo, std::int64_t Hi) {
+    assert(Lo <= Hi && "range() requires Lo <= Hi");
+    return Lo + static_cast<std::int64_t>(
+                    bounded(static_cast<std::uint64_t>(Hi - Lo + 1)));
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  std::uint64_t State[4];
+};
+
+} // namespace smat
+
+#endif // SMAT_SUPPORT_RNG_H

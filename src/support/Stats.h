@@ -1,0 +1,83 @@
+//===- support/Stats.h - Small statistics helpers ---------------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mean / variance / geometric-mean helpers shared by feature extraction and
+/// the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_SUPPORT_STATS_H
+#define SMAT_SUPPORT_STATS_H
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace smat {
+
+/// Arithmetic mean; 0 for an empty range.
+inline double mean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+/// Population variance; 0 for an empty range.
+inline double variance(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Mu = mean(Xs);
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += (X - Mu) * (X - Mu);
+  return Sum / static_cast<double>(Xs.size());
+}
+
+/// Geometric mean of strictly positive values; 0 if any value is <= 0.
+inline double geometricMean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double X : Xs) {
+    if (X <= 0.0)
+      return 0.0;
+    LogSum += std::log(X);
+  }
+  return std::exp(LogSum / static_cast<double>(Xs.size()));
+}
+
+/// Ordinary least-squares fit Y = Slope * X + Intercept.
+/// \returns false when fewer than two points are supplied or X is constant.
+inline bool leastSquaresFit(const std::vector<double> &X,
+                            const std::vector<double> &Y, double &Slope,
+                            double &Intercept) {
+  assert(X.size() == Y.size() && "mismatched fit inputs");
+  std::size_t N = X.size();
+  if (N < 2)
+    return false;
+  double Sx = 0, Sy = 0, Sxx = 0, Sxy = 0;
+  for (std::size_t I = 0; I != N; ++I) {
+    Sx += X[I];
+    Sy += Y[I];
+    Sxx += X[I] * X[I];
+    Sxy += X[I] * Y[I];
+  }
+  double Denominator = static_cast<double>(N) * Sxx - Sx * Sx;
+  if (std::abs(Denominator) < 1e-12)
+    return false;
+  Slope = (static_cast<double>(N) * Sxy - Sx * Sy) / Denominator;
+  Intercept = (Sy - Slope * Sx) / static_cast<double>(N);
+  return true;
+}
+
+} // namespace smat
+
+#endif // SMAT_SUPPORT_STATS_H

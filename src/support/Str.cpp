@@ -1,0 +1,88 @@
+//===- support/Str.cpp - String utilities ---------------------------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Str.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace smat;
+
+std::string_view smat::trim(std::string_view S) {
+  std::size_t Begin = 0;
+  while (Begin < S.size() &&
+         std::isspace(static_cast<unsigned char>(S[Begin])))
+    ++Begin;
+  std::size_t End = S.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(S[End - 1])))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+std::vector<std::string> smat::split(std::string_view S, char Sep,
+                                     bool KeepEmpty) {
+  std::vector<std::string> Pieces;
+  std::size_t Begin = 0;
+  while (Begin <= S.size()) {
+    std::size_t End = S.find(Sep, Begin);
+    if (End == std::string_view::npos)
+      End = S.size();
+    std::string_view Piece = S.substr(Begin, End - Begin);
+    if (KeepEmpty || !Piece.empty())
+      Pieces.emplace_back(Piece);
+    Begin = End + 1;
+    if (End == S.size())
+      break;
+  }
+  return Pieces;
+}
+
+std::vector<std::string> smat::splitWhitespace(std::string_view S) {
+  std::vector<std::string> Pieces;
+  std::size_t I = 0;
+  while (I < S.size()) {
+    while (I < S.size() && std::isspace(static_cast<unsigned char>(S[I])))
+      ++I;
+    std::size_t Begin = I;
+    while (I < S.size() && !std::isspace(static_cast<unsigned char>(S[I])))
+      ++I;
+    if (I > Begin)
+      Pieces.emplace_back(S.substr(Begin, I - Begin));
+  }
+  return Pieces;
+}
+
+bool smat::equalsIgnoreCase(std::string_view A, std::string_view B) {
+  if (A.size() != B.size())
+    return false;
+  for (std::size_t I = 0; I != A.size(); ++I)
+    if (std::tolower(static_cast<unsigned char>(A[I])) !=
+        std::tolower(static_cast<unsigned char>(B[I])))
+      return false;
+  return true;
+}
+
+bool smat::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string smat::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Result(static_cast<std::size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}

@@ -1,0 +1,44 @@
+//===- support/Str.h - String utilities -------------------------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny string helpers used by MatrixMarket parsing, model (de)serialization,
+/// and CSV emission.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_SUPPORT_STR_H
+#define SMAT_SUPPORT_STR_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smat {
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep, dropping empty pieces when \p KeepEmpty is false.
+std::vector<std::string> split(std::string_view S, char Sep,
+                               bool KeepEmpty = false);
+
+/// Splits \p S on runs of whitespace.
+std::vector<std::string> splitWhitespace(std::string_view S);
+
+/// Case-insensitive equality for ASCII strings.
+bool equalsIgnoreCase(std::string_view A, std::string_view B);
+
+/// \returns true when \p S starts with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace smat
+
+#endif // SMAT_SUPPORT_STR_H

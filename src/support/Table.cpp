@@ -1,0 +1,60 @@
+//===- support/Table.cpp - ASCII table printer ----------------------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace smat;
+
+AsciiTable::AsciiTable(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void AsciiTable::addRow(std::vector<std::string> Row) {
+  Row.resize(Header.size());
+  Rows.push_back(std::move(Row));
+}
+
+void AsciiTable::print(std::FILE *Stream) const {
+  std::vector<std::size_t> Widths(Header.size());
+  for (std::size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (std::size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (std::size_t C = 0; C != Row.size(); ++C)
+      std::fprintf(Stream, "%s%-*s", C ? "  " : "",
+                   static_cast<int>(Widths[C]), Row[C].c_str());
+    std::fprintf(Stream, "\n");
+  };
+
+  PrintRow(Header);
+  std::size_t Total = 0;
+  for (std::size_t C = 0; C != Widths.size(); ++C)
+    Total += Widths[C] + (C ? 2 : 0);
+  std::string Rule(Total, '-');
+  std::fprintf(Stream, "%s\n", Rule.c_str());
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string AsciiTable::toCsv() const {
+  std::string Out;
+  auto AppendRow = [&Out](const std::vector<std::string> &Row) {
+    for (std::size_t C = 0; C != Row.size(); ++C) {
+      if (C)
+        Out += ',';
+      Out += Row[C];
+    }
+    Out += '\n';
+  };
+  AppendRow(Header);
+  for (const auto &Row : Rows)
+    AppendRow(Row);
+  return Out;
+}

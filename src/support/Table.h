@@ -1,0 +1,44 @@
+//===- support/Table.h - ASCII table printer --------------------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A column-aligned ASCII table used by every benchmark binary to print the
+/// paper's tables and figure series in a uniform, diffable layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_SUPPORT_TABLE_H
+#define SMAT_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace smat {
+
+/// Collects rows of strings and prints them with per-column alignment.
+class AsciiTable {
+public:
+  explicit AsciiTable(std::vector<std::string> Header);
+
+  /// Appends one row; the row is padded with empty cells if shorter than the
+  /// header and truncated otherwise.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table to \p Stream (stdout by default).
+  void print(std::FILE *Stream = stdout) const;
+
+  /// Renders the table as comma separated values.
+  std::string toCsv() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace smat
+
+#endif // SMAT_SUPPORT_TABLE_H

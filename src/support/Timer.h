@@ -1,0 +1,70 @@
+//===- support/Timer.h - Wall-clock timing helpers --------------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timer and a repetition-controlled measurement helper used by
+/// the scoreboard search, the trainer, and all benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_SUPPORT_TIMER_H
+#define SMAT_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace smat {
+
+/// A simple steady-clock stopwatch.
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// \returns seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Runs \p Fn repeatedly until at least \p MinSeconds have elapsed (and at
+/// least \p MinReps repetitions have run) and returns the mean seconds per
+/// call. Used everywhere a per-kernel time is needed so that very fast
+/// kernels are still measured with acceptable resolution.
+template <typename Callable>
+double measureSecondsPerCall(Callable &&Fn, double MinSeconds = 2e-3,
+                             std::uint64_t MinReps = 3) {
+  // One warm-up call so first-touch page faults and cache cold misses do not
+  // pollute the measurement.
+  Fn();
+  std::uint64_t Reps = 0;
+  WallTimer Timer;
+  double Elapsed = 0.0;
+  do {
+    Fn();
+    ++Reps;
+    Elapsed = Timer.seconds();
+  } while (Elapsed < MinSeconds || Reps < MinReps);
+  return Elapsed / static_cast<double>(Reps);
+}
+
+/// Converts a per-call SpMV time into GFLOPS given the nonzero count.
+/// Each nonzero contributes one multiply and one add.
+inline double spmvGflops(std::uint64_t Nnz, double SecondsPerCall) {
+  if (SecondsPerCall <= 0.0)
+    return 0.0;
+  return 2.0 * static_cast<double>(Nnz) / SecondsPerCall * 1e-9;
+}
+
+} // namespace smat
+
+#endif // SMAT_SUPPORT_TIMER_H

@@ -1,0 +1,91 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_TESTS_TESTUTIL_H
+#define SMAT_TESTS_TESTUTIL_H
+
+#include "matrix/FormatConvert.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smat {
+namespace test {
+
+/// Expands a CSR matrix to a dense row-major array.
+template <typename T>
+std::vector<T> toDense(const CsrMatrix<T> &A) {
+  std::vector<T> Dense(static_cast<std::size_t>(A.NumRows) *
+                           static_cast<std::size_t>(A.NumCols),
+                       T(0));
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I)
+      Dense[static_cast<std::size_t>(Row) * A.NumCols + A.ColIdx[I]] +=
+          A.Values[I];
+  return Dense;
+}
+
+/// Dense reference y = A*x.
+template <typename T>
+std::vector<T> denseSpmv(const CsrMatrix<T> &A, const std::vector<T> &X) {
+  std::vector<T> Y(static_cast<std::size_t>(A.NumRows), T(0));
+  for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    // Kahan-free double accumulation is fine at test sizes.
+    double Sum = 0.0;
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I)
+      Sum += static_cast<double>(A.Values[I]) *
+             static_cast<double>(X[static_cast<std::size_t>(A.ColIdx[I])]);
+    Y[static_cast<std::size_t>(Row)] = static_cast<T>(Sum);
+  }
+  return Y;
+}
+
+/// Random test vector in [-1, 1].
+template <typename T>
+std::vector<T> randomVector(std::size_t N, std::uint64_t Seed) {
+  Rng Rng(Seed);
+  std::vector<T> X(N);
+  for (T &V : X)
+    V = static_cast<T>(Rng.uniform(-1.0, 1.0));
+  return X;
+}
+
+/// Random general CSR matrix (duplicate-free, sorted rows).
+inline CsrMatrix<double> randomCsr(index_t Rows, index_t Cols, double Density,
+                                   std::uint64_t Seed) {
+  Rng Rng(Seed);
+  std::vector<index_t> R, C;
+  std::vector<double> V;
+  for (index_t Row = 0; Row < Rows; ++Row)
+    for (index_t Col = 0; Col < Cols; ++Col)
+      if (Rng.uniform() < Density) {
+        R.push_back(Row);
+        C.push_back(Col);
+        V.push_back(Rng.uniform(-2.0, 2.0));
+      }
+  return csrFromTriplets<double>(Rows, Cols, std::move(R), std::move(C),
+                                 std::move(V));
+}
+
+/// Element-wise near-equality with a relative+absolute mixed tolerance.
+template <typename T>
+void expectVectorsNear(const std::vector<T> &Expected,
+                       const std::vector<T> &Actual, double Tol) {
+  ASSERT_EQ(Expected.size(), Actual.size());
+  for (std::size_t I = 0; I != Expected.size(); ++I) {
+    double Scale = std::max(1.0, std::abs(static_cast<double>(Expected[I])));
+    EXPECT_NEAR(static_cast<double>(Expected[I]),
+                static_cast<double>(Actual[I]), Tol * Scale)
+        << "at index " << I;
+  }
+}
+
+} // namespace test
+} // namespace smat
+
+#endif // SMAT_TESTS_TESTUTIL_H

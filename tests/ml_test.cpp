@@ -1,0 +1,343 @@
+//===- tests/ml_test.cpp - Decision tree and ruleset tests ----------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/DecisionTree.h"
+#include "ml/CrossValidate.h"
+#include "ml/ModelIO.h"
+#include "ml/RuleSet.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace smat;
+
+namespace {
+
+Sample makeSample(double Ndiags, double VarRd, double R, FormatKind Label) {
+  Sample S;
+  S.X.fill(0.0);
+  S.X[FeatM] = 1000;
+  S.X[FeatN] = 1000;
+  S.X[FeatNdiags] = Ndiags;
+  S.X[FeatVarRd] = VarRd;
+  S.X[FeatR] = R;
+  S.Label = Label;
+  return S;
+}
+
+/// A cleanly separable synthetic dataset mirroring the paper's Figure-6
+/// regimes: few diagonals -> DIA, low row-degree variance -> ELL,
+/// power-law R in [1,4] -> COO, everything else CSR.
+Dataset syntheticDataset(int PerClass, std::uint64_t Seed) {
+  Dataset Data;
+  Rng Rng(Seed);
+  for (int I = 0; I < PerClass; ++I) {
+    Data.Samples.push_back(makeSample(Rng.uniform(1, 20), Rng.uniform(0, 0.2),
+                                      FeatureInf, FormatKind::DIA));
+    Data.Samples.push_back(makeSample(Rng.uniform(500, 2000),
+                                      Rng.uniform(0, 0.3), FeatureInf,
+                                      FormatKind::ELL));
+    Data.Samples.push_back(makeSample(Rng.uniform(500, 2000),
+                                      Rng.uniform(50, 500),
+                                      Rng.uniform(1.0, 4.0),
+                                      FormatKind::COO));
+    Data.Samples.push_back(makeSample(Rng.uniform(500, 2000),
+                                      Rng.uniform(50, 500), FeatureInf,
+                                      FormatKind::CSR));
+  }
+  return Data;
+}
+
+} // namespace
+
+// --- Dataset ------------------------------------------------------------------
+
+TEST(DatasetTest, ClassCountsAndMajority) {
+  Dataset Data;
+  Data.Samples.push_back(makeSample(1, 0, FeatureInf, FormatKind::DIA));
+  Data.Samples.push_back(makeSample(2, 0, FeatureInf, FormatKind::DIA));
+  Data.Samples.push_back(makeSample(900, 9, FeatureInf, FormatKind::CSR));
+  auto Counts = Data.classCounts();
+  EXPECT_EQ(Counts[static_cast<int>(FormatKind::DIA)], 2u);
+  EXPECT_EQ(Counts[static_cast<int>(FormatKind::CSR)], 1u);
+  EXPECT_EQ(Data.majorityClass(), FormatKind::DIA);
+}
+
+TEST(DatasetTest, MajorityTieGoesToCsr) {
+  Dataset Data;
+  Data.Samples.push_back(makeSample(900, 9, FeatureInf, FormatKind::CSR));
+  Data.Samples.push_back(makeSample(1, 0, FeatureInf, FormatKind::DIA));
+  EXPECT_EQ(Data.majorityClass(), FormatKind::CSR);
+}
+
+// --- DecisionTree ---------------------------------------------------------------
+
+TEST(DecisionTreeTest, LearnsSeparableData) {
+  Dataset Data = syntheticDataset(50, 1);
+  DecisionTree Tree;
+  Tree.build(Data);
+  EXPECT_GE(Tree.accuracy(Data), 0.97);
+  EXPECT_GT(Tree.numLeaves(), 2u);
+}
+
+TEST(DecisionTreeTest, GeneralizesToHeldOut) {
+  DecisionTree Tree;
+  Tree.build(syntheticDataset(60, 2));
+  Dataset HeldOut = syntheticDataset(20, 999);
+  EXPECT_GE(Tree.accuracy(HeldOut), 0.9);
+}
+
+TEST(DecisionTreeTest, PredictsMajorityOnPureDataset) {
+  Dataset Data;
+  for (int I = 0; I < 10; ++I)
+    Data.Samples.push_back(makeSample(I, 0, FeatureInf, FormatKind::ELL));
+  DecisionTree Tree;
+  Tree.build(Data);
+  EXPECT_EQ(Tree.numLeaves(), 1u);
+  EXPECT_EQ(Tree.predict(Data.Samples[3].X), FormatKind::ELL);
+}
+
+TEST(DecisionTreeTest, MaxDepthLimitsTree) {
+  Dataset Data = syntheticDataset(50, 3);
+  TreeConfig Config;
+  Config.MaxDepth = 1;
+  Config.Prune = false;
+  DecisionTree Tree;
+  Tree.build(Data, Config);
+  EXPECT_LE(Tree.numLeaves(), 2u);
+}
+
+TEST(DecisionTreeTest, PruningNeverGrowsTheTree) {
+  Dataset Data = syntheticDataset(40, 4);
+  // Add label noise so pruning has something to remove.
+  Rng Rng(5);
+  for (Sample &S : Data.Samples)
+    if (Rng.uniform() < 0.1)
+      S.Label = FormatKind::CSR;
+
+  TreeConfig NoPrune;
+  NoPrune.Prune = false;
+  DecisionTree Unpruned;
+  Unpruned.build(Data, NoPrune);
+
+  DecisionTree Pruned;
+  Pruned.build(Data, TreeConfig()); // Prune = true by default.
+  EXPECT_LE(Pruned.numNodes(), Unpruned.numNodes());
+}
+
+TEST(DecisionTreeTest, HandlesInfSentinelSplits) {
+  // R = FeatureInf rows must be separable from finite-R rows.
+  Dataset Data;
+  for (int I = 0; I < 30; ++I) {
+    Data.Samples.push_back(
+        makeSample(500, 100, 2.0 + 0.01 * I, FormatKind::COO));
+    Data.Samples.push_back(makeSample(500, 100, FeatureInf, FormatKind::CSR));
+  }
+  DecisionTree Tree;
+  Tree.build(Data);
+  EXPECT_GE(Tree.accuracy(Data), 0.99);
+}
+
+// --- RuleSet --------------------------------------------------------------------
+
+TEST(RuleSetTest, ExtractsOneRulePerLeaf) {
+  Dataset Data = syntheticDataset(50, 6);
+  DecisionTree Tree;
+  Tree.build(Data);
+  RuleSet Rules = RuleSet::fromTree(Tree, Data);
+  EXPECT_EQ(Rules.Rules.size(), Tree.numLeaves());
+}
+
+TEST(RuleSetTest, RuleConfidencesInUnitInterval) {
+  Dataset Data = syntheticDataset(50, 7);
+  DecisionTree Tree;
+  Tree.build(Data);
+  RuleSet Rules = RuleSet::fromTree(Tree, Data);
+  for (const Rule &R : Rules.Rules) {
+    EXPECT_GT(R.Confidence, 0.0);
+    EXPECT_LT(R.Confidence, 1.0);
+    EXPECT_LE(R.Correct, R.Covered);
+  }
+}
+
+TEST(RuleSetTest, ClassifyMatchesTreeOnTrainingData) {
+  Dataset Data = syntheticDataset(40, 8);
+  DecisionTree Tree;
+  Tree.build(Data);
+  RuleSet Rules = RuleSet::fromTree(Tree, Data);
+  // Tree-extracted rules partition the space: first match == tree leaf.
+  for (const Sample &S : Data.Samples)
+    EXPECT_EQ(Rules.classify(S.X).Format, Tree.predict(S.X));
+}
+
+TEST(RuleSetTest, OrderingPreservesSetAccuracy) {
+  Dataset Data = syntheticDataset(50, 9);
+  DecisionTree Tree;
+  Tree.build(Data);
+  RuleSet Rules = RuleSet::fromTree(Tree, Data);
+  double Before = Rules.accuracy(Data);
+  Rules.orderByContribution(Data);
+  // Rules from a tree are mutually exclusive, so order cannot change
+  // first-match accuracy.
+  EXPECT_DOUBLE_EQ(Rules.accuracy(Data), Before);
+}
+
+TEST(RuleSetTest, TailoringStaysWithinOnePercent) {
+  Dataset Data = syntheticDataset(60, 10);
+  DecisionTree Tree;
+  Tree.build(Data);
+  RuleSet Rules = RuleSet::fromTree(Tree, Data);
+  Rules.orderByContribution(Data);
+  RuleSet Tailored = Rules.tailored(Data, 0.01);
+  EXPECT_LE(Tailored.Rules.size(), Rules.Rules.size());
+  EXPECT_GE(Tailored.accuracy(Data) + 0.01, Rules.accuracy(Data));
+}
+
+TEST(RuleSetTest, GroupConfidenceZeroWhenNoMatch) {
+  RuleSet Rules;
+  Rule R;
+  R.Format = FormatKind::DIA;
+  R.Conditions.push_back({FeatNdiags, true, 10.0});
+  R.Confidence = 0.9;
+  Rules.Rules.push_back(R);
+
+  auto X = makeSample(50, 0, FeatureInf, FormatKind::CSR).X;
+  EXPECT_DOUBLE_EQ(Rules.groupConfidence(FormatKind::DIA, X), 0.0);
+  X[FeatNdiags] = 5;
+  EXPECT_DOUBLE_EQ(Rules.groupConfidence(FormatKind::DIA, X), 0.9);
+}
+
+TEST(RuleSetTest, OptimisticPredictionWalksGroupOrder) {
+  // Both a DIA and an ELL rule match; DIA must win (group order).
+  RuleSet Rules;
+  Rule DiaRule;
+  DiaRule.Format = FormatKind::DIA;
+  DiaRule.Confidence = 0.9;
+  Rule EllRule;
+  EllRule.Format = FormatKind::ELL;
+  EllRule.Confidence = 0.95;
+  Rules.Rules = {EllRule, DiaRule}; // Order in the list must not matter.
+
+  auto X = makeSample(5, 0, FeatureInf, FormatKind::DIA).X;
+  RulePrediction P = Rules.predictOptimistic(X, 0.85);
+  EXPECT_EQ(P.Format, FormatKind::DIA);
+  EXPECT_TRUE(P.Confident);
+}
+
+TEST(RuleSetTest, LowConfidenceTriggersUnconfidentPrediction) {
+  RuleSet Rules;
+  Rule R;
+  R.Format = FormatKind::ELL;
+  R.Confidence = 0.5; // Below threshold.
+  Rules.Rules.push_back(R);
+  Rules.DefaultFormat = FormatKind::CSR;
+  Rules.DefaultConfidence = 0.6;
+
+  auto X = makeSample(100, 1, FeatureInf, FormatKind::CSR).X;
+  RulePrediction P = Rules.predictOptimistic(X, 0.85);
+  EXPECT_FALSE(P.Confident);
+}
+
+TEST(RuleSetTest, EmptyRulesetFallsBackToDefault) {
+  RuleSet Rules;
+  Rules.DefaultFormat = FormatKind::CSR;
+  auto X = makeSample(10, 1, FeatureInf, FormatKind::CSR).X;
+  RulePrediction P = Rules.classify(X);
+  EXPECT_EQ(P.Format, FormatKind::CSR);
+  EXPECT_EQ(P.RuleIndex, -1);
+}
+
+TEST(RuleSetTest, RuleToStringIsReadable) {
+  Rule R;
+  R.Format = FormatKind::DIA;
+  R.Conditions.push_back({FeatNdiags, true, 40.0});
+  R.Conditions.push_back({FeatNTdiagsRatio, false, 0.6});
+  R.Confidence = 0.97;
+  std::string S = R.toString();
+  EXPECT_NE(S.find("Ndiags <= 40"), std::string::npos);
+  EXPECT_NE(S.find("NTdiags_ratio > 0.6"), std::string::npos);
+  EXPECT_NE(S.find("THEN DIA"), std::string::npos);
+}
+
+// --- CrossValidate ----------------------------------------------------------------
+
+TEST(CrossValidateTest, HighAccuracyOnSeparableData) {
+  Dataset Data = syntheticDataset(40, 21);
+  CrossValidationResult Cv = crossValidate(Data, TreeConfig(), 5);
+  EXPECT_EQ(Cv.Folds, 5);
+  EXPECT_GE(Cv.MeanTreeAccuracy, 0.9);
+  EXPECT_GE(Cv.MeanRulesetAccuracy, 0.9);
+  EXPECT_GE(Cv.MeanLeaves, 2.0);
+}
+
+TEST(CrossValidateTest, NoiseLowersValidationAccuracy) {
+  Dataset Clean = syntheticDataset(40, 22);
+  Dataset Noisy = Clean;
+  Rng Rng(23);
+  for (Sample &S : Noisy.Samples)
+    if (Rng.uniform() < 0.3)
+      S.Label = static_cast<FormatKind>(Rng.bounded(4));
+  CrossValidationResult CvClean = crossValidate(Clean, TreeConfig(), 5);
+  CrossValidationResult CvNoisy = crossValidate(Noisy, TreeConfig(), 5);
+  EXPECT_GT(CvClean.MeanTreeAccuracy, CvNoisy.MeanTreeAccuracy);
+}
+
+TEST(CrossValidateTest, DepthOneIsWeakerThanDeepTree) {
+  Dataset Data = syntheticDataset(40, 24);
+  TreeConfig Shallow;
+  Shallow.MaxDepth = 1;
+  CrossValidationResult CvShallow = crossValidate(Data, Shallow, 4);
+  CrossValidationResult CvDeep = crossValidate(Data, TreeConfig(), 4);
+  EXPECT_GT(CvDeep.MeanTreeAccuracy, CvShallow.MeanTreeAccuracy);
+}
+
+// --- ModelIO --------------------------------------------------------------------
+
+TEST(ModelIoTest, RuleSetRoundTrip) {
+  Dataset Data = syntheticDataset(40, 11);
+  DecisionTree Tree;
+  Tree.build(Data);
+  RuleSet Rules = RuleSet::fromTree(Tree, Data);
+  Rules.orderByContribution(Data);
+
+  RuleSet Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseRuleSet(serializeRuleSet(Rules), Parsed, Error)) << Error;
+  ASSERT_EQ(Parsed.Rules.size(), Rules.Rules.size());
+  EXPECT_EQ(Parsed.DefaultFormat, Rules.DefaultFormat);
+  for (std::size_t I = 0; I != Rules.Rules.size(); ++I) {
+    EXPECT_EQ(Parsed.Rules[I].Format, Rules.Rules[I].Format);
+    EXPECT_DOUBLE_EQ(Parsed.Rules[I].Confidence, Rules.Rules[I].Confidence);
+    ASSERT_EQ(Parsed.Rules[I].Conditions.size(),
+              Rules.Rules[I].Conditions.size());
+  }
+  // Same classifications after the round trip.
+  for (const Sample &S : Data.Samples)
+    EXPECT_EQ(Parsed.classify(S.X).Format, Rules.classify(S.X).Format);
+}
+
+TEST(ModelIoTest, RejectsCorruptInput) {
+  RuleSet Parsed;
+  std::string Error;
+  EXPECT_FALSE(parseRuleSet("", Parsed, Error));
+  EXPECT_FALSE(parseRuleSet("SMAT-RULESET v1\nbogus\n", Parsed, Error));
+  EXPECT_FALSE(parseRuleSet("SMAT-RULESET v1\ndefault CSR 0.5\nrules 1\n",
+                            Parsed, Error))
+      << "truncated rule list must fail";
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  Dataset Data = syntheticDataset(20, 12);
+  DecisionTree Tree;
+  Tree.build(Data);
+  RuleSet Rules = RuleSet::fromTree(Tree, Data);
+  std::string Path = testing::TempDir() + "/smat_ruleset_test.txt";
+  ASSERT_TRUE(saveRuleSetFile(Path, Rules));
+  RuleSet Loaded;
+  std::string Error;
+  ASSERT_TRUE(loadRuleSetFile(Path, Loaded, Error)) << Error;
+  EXPECT_EQ(Loaded.Rules.size(), Rules.Rules.size());
+}

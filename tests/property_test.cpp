@@ -1,0 +1,235 @@
+//===- tests/property_test.cpp - Randomized property sweeps ---------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property-based tests: the same invariants checked over a seeded family of
+// random matrices, using parameterized gtest as the sweep driver.
+//
+//===----------------------------------------------------------------------===//
+
+#include "amg/SpGemm.h"
+#include "features/FeatureExtractor.h"
+#include "kernels/KernelRegistry.h"
+#include "kernels/Scoreboard.h"
+#include "matrix/FormatConvert.h"
+#include "matrix/MatrixMarket.h"
+#include "ml/ModelIO.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace smat;
+using namespace smat::test;
+
+namespace {
+
+/// A seeded random matrix whose shape/density also vary with the seed.
+CsrMatrix<double> seededMatrix(std::uint64_t Seed) {
+  Rng Rng(Seed * 7919 + 3);
+  index_t Rows = static_cast<index_t>(Rng.range(1, 120));
+  index_t Cols = static_cast<index_t>(Rng.range(1, 120));
+  double Density = Rng.uniform(0.005, 0.3);
+  return randomCsr(Rows, Cols, Density, Seed);
+}
+
+} // namespace
+
+class MatrixProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Conversions are lossless round trips for every representable matrix.
+TEST_P(MatrixProperties, FormatRoundTripsAreExact) {
+  CsrMatrix<double> A = seededMatrix(GetParam());
+  auto Dense = toDense(A);
+
+  EXPECT_EQ(toDense(cooToCsr(csrToCoo(A))), Dense);
+
+  DiaMatrix<double> Dia;
+  ASSERT_TRUE(csrToDia(A, Dia, 0.0, 0));
+  EXPECT_EQ(toDense(diaToCsr(Dia)), Dense);
+
+  EllMatrix<double> Ell;
+  ASSERT_TRUE(csrToEll(A, Ell, 0.0));
+  EXPECT_EQ(toDense(ellToCsr(Ell)), Dense);
+
+  for (index_t BlockSize : {2, 3, 5}) {
+    BsrMatrix<double> Bsr;
+    ASSERT_TRUE(csrToBsr(A, Bsr, BlockSize, 0.0));
+    EXPECT_EQ(toDense(bsrToCsr(Bsr)), Dense) << "b=" << BlockSize;
+  }
+}
+
+// Every kernel of every format agrees with the dense reference.
+TEST_P(MatrixProperties, AllKernelsAgree) {
+  CsrMatrix<double> A = seededMatrix(GetParam());
+  auto X = randomVector<double>(static_cast<std::size_t>(A.NumCols),
+                                GetParam() + 500);
+  auto Expected = denseSpmv(A, X);
+  std::vector<double> Y(static_cast<std::size_t>(A.NumRows));
+
+  for (const auto &K : kernelTable<double>().Csr) {
+    K.Fn(A, X.data(), Y.data());
+    SCOPED_TRACE(K.Name);
+    expectVectorsNear(Expected, Y, 1e-12);
+  }
+  CooMatrix<double> Coo = csrToCoo(A);
+  for (const auto &K : kernelTable<double>().Coo) {
+    K.Fn(Coo, X.data(), Y.data());
+    SCOPED_TRACE(K.Name);
+    expectVectorsNear(Expected, Y, 1e-12);
+  }
+  DiaMatrix<double> Dia;
+  ASSERT_TRUE(csrToDia(A, Dia, 0.0, 0));
+  for (const auto &K : kernelTable<double>().Dia) {
+    K.Fn(Dia, X.data(), Y.data());
+    SCOPED_TRACE(K.Name);
+    expectVectorsNear(Expected, Y, 1e-12);
+  }
+  EllMatrix<double> Ell;
+  ASSERT_TRUE(csrToEll(A, Ell, 0.0));
+  for (const auto &K : kernelTable<double>().Ell) {
+    K.Fn(Ell, X.data(), Y.data());
+    SCOPED_TRACE(K.Name);
+    expectVectorsNear(Expected, Y, 1e-12);
+  }
+  BsrMatrix<double> Bsr;
+  ASSERT_TRUE(csrToBsr(A, Bsr, 4, 0.0));
+  for (const auto &K : kernelTable<double>().Bsr) {
+    K.Fn(Bsr, X.data(), Y.data());
+    SCOPED_TRACE(K.Name);
+    expectVectorsNear(Expected, Y, 1e-12);
+  }
+}
+
+// Transpose is an involution and preserves nnz.
+TEST_P(MatrixProperties, TransposeInvolution) {
+  CsrMatrix<double> A = seededMatrix(GetParam());
+  CsrMatrix<double> At = transposeCsr(A);
+  EXPECT_EQ(At.nnz(), A.nnz());
+  EXPECT_EQ(toDense(transposeCsr(At)), toDense(A));
+}
+
+// MatrixMarket serialization round-trips bit-exactly (17 significant digits).
+TEST_P(MatrixProperties, MatrixMarketRoundTrip) {
+  CsrMatrix<double> A = seededMatrix(GetParam());
+  auto Result = readMatrixMarketString(writeMatrixMarketString(A));
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+  EXPECT_EQ(toDense(Result.Matrix), toDense(A));
+}
+
+// Feature invariants hold for arbitrary structure.
+TEST_P(MatrixProperties, FeatureInvariants) {
+  CsrMatrix<double> A = seededMatrix(GetParam());
+  FeatureVector F = extractAllFeatures(A);
+  EXPECT_DOUBLE_EQ(F.Nnz, static_cast<double>(A.nnz()));
+  EXPECT_LE(F.AverRd, F.MaxRd + 1e-12);
+  EXPECT_GE(F.VarRd, 0.0);
+  EXPECT_GE(F.NTdiagsRatio, 0.0);
+  EXPECT_LE(F.NTdiagsRatio, 1.0);
+  if (A.nnz() > 0) {
+    EXPECT_GT(F.ErDia, 0.0);
+    EXPECT_GT(F.ErEll, 0.0);
+  }
+  // ER_DIA definition holds exactly.
+  if (F.Ndiags > 0)
+    EXPECT_NEAR(F.ErDia, F.Nnz / (F.Ndiags * F.M), 1e-12);
+  if (F.MaxRd > 0)
+    EXPECT_NEAR(F.ErEll, F.Nnz / (F.MaxRd * F.M), 1e-12);
+}
+
+// SpGEMM with the identity is neutral; associativity on small triples.
+TEST_P(MatrixProperties, SpgemmAssociativity) {
+  std::uint64_t Seed = GetParam();
+  Rng Rng(Seed + 17);
+  index_t N = static_cast<index_t>(Rng.range(5, 40));
+  CsrMatrix<double> A = randomCsr(N, N, 0.2, Seed + 1);
+  CsrMatrix<double> B = randomCsr(N, N, 0.2, Seed + 2);
+  CsrMatrix<double> C = randomCsr(N, N, 0.2, Seed + 3);
+  auto Left = toDense(spgemm(spgemm(A, B), C));
+  auto Right = toDense(spgemm(A, spgemm(B, C)));
+  ASSERT_EQ(Left.size(), Right.size());
+  for (std::size_t I = 0; I != Left.size(); ++I)
+    EXPECT_NEAR(Left[I], Right[I], 1e-9);
+}
+
+// The scoreboard always returns a valid index, and the winner's measured
+// performance is never dominated by an identically-flagged rival.
+TEST_P(MatrixProperties, ScoreboardPicksValidKernel) {
+  CsrMatrix<double> A = seededMatrix(GetParam());
+  if (A.nnz() == 0)
+    GTEST_SKIP() << "degenerate empty matrix";
+  auto Table = measureKernelTable<double>(kernelTable<double>().Csr, A, 5e-5);
+  ScoreboardResult R = runScoreboard(Table);
+  ASSERT_GE(R.BestIndex, 0);
+  ASSERT_LT(static_cast<std::size_t>(R.BestIndex), Table.size());
+  int BestScore = R.KernelScores[static_cast<std::size_t>(R.BestIndex)];
+  for (int Score : R.KernelScores)
+    EXPECT_LE(Score, BestScore);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, MatrixProperties,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// --- Parser robustness: mutated inputs must fail cleanly, never crash. ------
+
+namespace {
+
+std::string mutate(const std::string &Text, Rng &Rng, int Edits) {
+  std::string Out = Text;
+  for (int E = 0; E < Edits && !Out.empty(); ++E) {
+    std::size_t Pos = Rng.bounded(Out.size());
+    switch (Rng.bounded(3)) {
+    case 0: // Flip a byte.
+      Out[Pos] = static_cast<char>(Rng.bounded(256));
+      break;
+    case 1: // Delete a byte.
+      Out.erase(Pos, 1);
+      break;
+    default: // Truncate.
+      Out.resize(Pos);
+      break;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, MatrixMarketNeverCrashes) {
+  Rng Rng(GetParam() * 131 + 7);
+  std::string Valid = writeMatrixMarketString(randomCsr(12, 9, 0.3, 1));
+  for (int Round = 0; Round < 50; ++Round) {
+    std::string Broken = mutate(Valid, Rng, 1 + static_cast<int>(Rng.bounded(8)));
+    MatrixMarketResult Result = readMatrixMarketString(Broken);
+    if (Result.Ok) // Some mutations stay valid; the matrix must be sane.
+      EXPECT_TRUE(Result.Matrix.isValid());
+    else
+      EXPECT_FALSE(Result.Error.empty());
+  }
+}
+
+TEST_P(ParserFuzz, RulesetParserNeverCrashes) {
+  Rng Rng(GetParam() * 173 + 11);
+  RuleSet Set;
+  Rule R;
+  R.Format = FormatKind::DIA;
+  R.Conditions.push_back({FeatNdiags, true, 40.0});
+  R.Confidence = 0.9;
+  R.Covered = 10;
+  R.Correct = 9;
+  Set.Rules.push_back(R);
+  std::string Valid = serializeRuleSet(Set);
+  for (int Round = 0; Round < 50; ++Round) {
+    std::string Broken = mutate(Valid, Rng, 1 + static_cast<int>(Rng.bounded(6)));
+    RuleSet Parsed;
+    std::string Error;
+    (void)parseRuleSet(Broken, Parsed, Error); // Must not crash or hang.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzSeeds, ParserFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
