@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bsr_extension.dir/ext_bsr_extension.cpp.o"
+  "CMakeFiles/ext_bsr_extension.dir/ext_bsr_extension.cpp.o.d"
+  "ext_bsr_extension"
+  "ext_bsr_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bsr_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

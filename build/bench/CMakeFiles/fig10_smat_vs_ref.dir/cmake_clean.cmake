@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_smat_vs_ref.dir/fig10_smat_vs_ref.cpp.o"
+  "CMakeFiles/fig10_smat_vs_ref.dir/fig10_smat_vs_ref.cpp.o.d"
+  "fig10_smat_vs_ref"
+  "fig10_smat_vs_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_smat_vs_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

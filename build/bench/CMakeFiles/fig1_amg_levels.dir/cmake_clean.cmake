@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_amg_levels.dir/fig1_amg_levels.cpp.o"
+  "CMakeFiles/fig1_amg_levels.dir/fig1_amg_levels.cpp.o.d"
+  "fig1_amg_levels"
+  "fig1_amg_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_amg_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_amg_levels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_format_variance.dir/fig3_format_variance.cpp.o"
+  "CMakeFiles/fig3_format_variance.dir/fig3_format_variance.cpp.o.d"
+  "fig3_format_variance"
+  "fig3_format_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_format_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

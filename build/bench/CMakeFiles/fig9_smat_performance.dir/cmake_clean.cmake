@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_smat_performance.dir/fig9_smat_performance.cpp.o"
+  "CMakeFiles/fig9_smat_performance.dir/fig9_smat_performance.cpp.o.d"
+  "fig9_smat_performance"
+  "fig9_smat_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_smat_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

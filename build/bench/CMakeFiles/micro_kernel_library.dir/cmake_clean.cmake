@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_kernel_library.dir/micro_kernel_library.cpp.o"
+  "CMakeFiles/micro_kernel_library.dir/micro_kernel_library.cpp.o.d"
+  "micro_kernel_library"
+  "micro_kernel_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kernel_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

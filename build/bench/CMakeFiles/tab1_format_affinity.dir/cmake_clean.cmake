@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_format_affinity.dir/tab1_format_affinity.cpp.o"
+  "CMakeFiles/tab1_format_affinity.dir/tab1_format_affinity.cpp.o.d"
+  "tab1_format_affinity"
+  "tab1_format_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_format_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

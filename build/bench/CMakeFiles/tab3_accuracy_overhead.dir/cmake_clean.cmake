@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_accuracy_overhead.dir/tab3_accuracy_overhead.cpp.o"
+  "CMakeFiles/tab3_accuracy_overhead.dir/tab3_accuracy_overhead.cpp.o.d"
+  "tab3_accuracy_overhead"
+  "tab3_accuracy_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_accuracy_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_amg_solve.dir/tab4_amg_solve.cpp.o"
+  "CMakeFiles/tab4_amg_solve.dir/tab4_amg_solve.cpp.o.d"
+  "tab4_amg_solve"
+  "tab4_amg_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_amg_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

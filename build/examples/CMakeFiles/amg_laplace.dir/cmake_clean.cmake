@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_laplace.dir/amg_laplace.cpp.o"
+  "CMakeFiles/amg_laplace.dir/amg_laplace.cpp.o.d"
+  "amg_laplace"
+  "amg_laplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amg/AmgSolver.cpp" "src/CMakeFiles/smat.dir/amg/AmgSolver.cpp.o" "gcc" "src/CMakeFiles/smat.dir/amg/AmgSolver.cpp.o.d"
+  "/root/repo/src/amg/Coarsen.cpp" "src/CMakeFiles/smat.dir/amg/Coarsen.cpp.o" "gcc" "src/CMakeFiles/smat.dir/amg/Coarsen.cpp.o.d"
+  "/root/repo/src/amg/Hierarchy.cpp" "src/CMakeFiles/smat.dir/amg/Hierarchy.cpp.o" "gcc" "src/CMakeFiles/smat.dir/amg/Hierarchy.cpp.o.d"
+  "/root/repo/src/amg/Interp.cpp" "src/CMakeFiles/smat.dir/amg/Interp.cpp.o" "gcc" "src/CMakeFiles/smat.dir/amg/Interp.cpp.o.d"
+  "/root/repo/src/amg/Relax.cpp" "src/CMakeFiles/smat.dir/amg/Relax.cpp.o" "gcc" "src/CMakeFiles/smat.dir/amg/Relax.cpp.o.d"
+  "/root/repo/src/amg/SpGemm.cpp" "src/CMakeFiles/smat.dir/amg/SpGemm.cpp.o" "gcc" "src/CMakeFiles/smat.dir/amg/SpGemm.cpp.o.d"
+  "/root/repo/src/amg/Strength.cpp" "src/CMakeFiles/smat.dir/amg/Strength.cpp.o" "gcc" "src/CMakeFiles/smat.dir/amg/Strength.cpp.o.d"
+  "/root/repo/src/core/FeatureDatabase.cpp" "src/CMakeFiles/smat.dir/core/FeatureDatabase.cpp.o" "gcc" "src/CMakeFiles/smat.dir/core/FeatureDatabase.cpp.o.d"
+  "/root/repo/src/core/LearningModel.cpp" "src/CMakeFiles/smat.dir/core/LearningModel.cpp.o" "gcc" "src/CMakeFiles/smat.dir/core/LearningModel.cpp.o.d"
+  "/root/repo/src/core/Smat.cpp" "src/CMakeFiles/smat.dir/core/Smat.cpp.o" "gcc" "src/CMakeFiles/smat.dir/core/Smat.cpp.o.d"
+  "/root/repo/src/core/Trainer.cpp" "src/CMakeFiles/smat.dir/core/Trainer.cpp.o" "gcc" "src/CMakeFiles/smat.dir/core/Trainer.cpp.o.d"
+  "/root/repo/src/features/FeatureExtractor.cpp" "src/CMakeFiles/smat.dir/features/FeatureExtractor.cpp.o" "gcc" "src/CMakeFiles/smat.dir/features/FeatureExtractor.cpp.o.d"
+  "/root/repo/src/kernels/BsrKernels.cpp" "src/CMakeFiles/smat.dir/kernels/BsrKernels.cpp.o" "gcc" "src/CMakeFiles/smat.dir/kernels/BsrKernels.cpp.o.d"
+  "/root/repo/src/kernels/CooKernels.cpp" "src/CMakeFiles/smat.dir/kernels/CooKernels.cpp.o" "gcc" "src/CMakeFiles/smat.dir/kernels/CooKernels.cpp.o.d"
+  "/root/repo/src/kernels/CsrKernels.cpp" "src/CMakeFiles/smat.dir/kernels/CsrKernels.cpp.o" "gcc" "src/CMakeFiles/smat.dir/kernels/CsrKernels.cpp.o.d"
+  "/root/repo/src/kernels/DiaKernels.cpp" "src/CMakeFiles/smat.dir/kernels/DiaKernels.cpp.o" "gcc" "src/CMakeFiles/smat.dir/kernels/DiaKernels.cpp.o.d"
+  "/root/repo/src/kernels/EllKernels.cpp" "src/CMakeFiles/smat.dir/kernels/EllKernels.cpp.o" "gcc" "src/CMakeFiles/smat.dir/kernels/EllKernels.cpp.o.d"
+  "/root/repo/src/kernels/KernelRegistry.cpp" "src/CMakeFiles/smat.dir/kernels/KernelRegistry.cpp.o" "gcc" "src/CMakeFiles/smat.dir/kernels/KernelRegistry.cpp.o.d"
+  "/root/repo/src/kernels/Scoreboard.cpp" "src/CMakeFiles/smat.dir/kernels/Scoreboard.cpp.o" "gcc" "src/CMakeFiles/smat.dir/kernels/Scoreboard.cpp.o.d"
+  "/root/repo/src/matrix/Corpus.cpp" "src/CMakeFiles/smat.dir/matrix/Corpus.cpp.o" "gcc" "src/CMakeFiles/smat.dir/matrix/Corpus.cpp.o.d"
+  "/root/repo/src/matrix/FormatConvert.cpp" "src/CMakeFiles/smat.dir/matrix/FormatConvert.cpp.o" "gcc" "src/CMakeFiles/smat.dir/matrix/FormatConvert.cpp.o.d"
+  "/root/repo/src/matrix/Generators.cpp" "src/CMakeFiles/smat.dir/matrix/Generators.cpp.o" "gcc" "src/CMakeFiles/smat.dir/matrix/Generators.cpp.o.d"
+  "/root/repo/src/matrix/MatrixMarket.cpp" "src/CMakeFiles/smat.dir/matrix/MatrixMarket.cpp.o" "gcc" "src/CMakeFiles/smat.dir/matrix/MatrixMarket.cpp.o.d"
+  "/root/repo/src/ml/CrossValidate.cpp" "src/CMakeFiles/smat.dir/ml/CrossValidate.cpp.o" "gcc" "src/CMakeFiles/smat.dir/ml/CrossValidate.cpp.o.d"
+  "/root/repo/src/ml/Dataset.cpp" "src/CMakeFiles/smat.dir/ml/Dataset.cpp.o" "gcc" "src/CMakeFiles/smat.dir/ml/Dataset.cpp.o.d"
+  "/root/repo/src/ml/DecisionTree.cpp" "src/CMakeFiles/smat.dir/ml/DecisionTree.cpp.o" "gcc" "src/CMakeFiles/smat.dir/ml/DecisionTree.cpp.o.d"
+  "/root/repo/src/ml/ModelIO.cpp" "src/CMakeFiles/smat.dir/ml/ModelIO.cpp.o" "gcc" "src/CMakeFiles/smat.dir/ml/ModelIO.cpp.o.d"
+  "/root/repo/src/ml/RuleSet.cpp" "src/CMakeFiles/smat.dir/ml/RuleSet.cpp.o" "gcc" "src/CMakeFiles/smat.dir/ml/RuleSet.cpp.o.d"
+  "/root/repo/src/ref/RefSpmv.cpp" "src/CMakeFiles/smat.dir/ref/RefSpmv.cpp.o" "gcc" "src/CMakeFiles/smat.dir/ref/RefSpmv.cpp.o.d"
+  "/root/repo/src/support/Str.cpp" "src/CMakeFiles/smat.dir/support/Str.cpp.o" "gcc" "src/CMakeFiles/smat.dir/support/Str.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/smat.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/smat.dir/support/Table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_test.dir/amg_test.cpp.o"
+  "CMakeFiles/amg_test.dir/amg_test.cpp.o.d"
+  "amg_test"
+  "amg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
