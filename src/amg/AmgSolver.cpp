@@ -53,6 +53,18 @@ void AmgSolver::setup(const CsrMatrix<double> &A, const AmgOptions &Opts) {
   // pointers into Tuned stable.
   Tuned.reserve(3 * NumLevels);
 
+  // One plan cache for the whole hierarchy: operators on neighbouring
+  // levels repeat structure, so tuning a class once covers its recurrences.
+  TuneOptions TuneOpts;
+  if (Options.Backend == SpmvBackendKind::Smat) {
+    TuneOpts.Cache = Options.Cache;
+    if (!TuneOpts.Cache) {
+      if (!OwnedCache)
+        OwnedCache = std::make_unique<PlanCache>();
+      TuneOpts.Cache = OwnedCache.get();
+    }
+  }
+
   auto Bind = [&](const CsrMatrix<double> &M, std::size_t Level,
                   const char *Name) -> SpmvFn {
     LevelFormatInfo Info;
@@ -62,7 +74,7 @@ void AmgSolver::setup(const CsrMatrix<double> &A, const AmgOptions &Opts) {
     Info.Nnz = M.nnz();
     if (Options.Backend == SpmvBackendKind::Smat) {
       assert(Options.Tuner && "Smat backend requires a tuner");
-      Tuned.push_back(Options.Tuner->tune(M));
+      Tuned.push_back(Options.Tuner->tune(M, TuneOpts));
       TunedSpmv<double> *Op = &Tuned.back();
       Info.Format = Op->format();
       Info.Kernel = Op->kernelName();

@@ -45,6 +45,11 @@ struct AmgOptions {
   SpmvBackendKind Backend = SpmvBackendKind::FixedCsr;
   /// Required when Backend == Smat.
   const Smat<double> *Tuner = nullptr;
+  /// Optional plan cache shared across every operator tuned during setup
+  /// (Smat backend only). Coarse-grid operators repeat structure level
+  /// after level, so sharing pays the full tuning cost once per structural
+  /// class. When null the solver creates and owns a private cache.
+  PlanCache *Cache = nullptr;
 };
 
 /// Outcome of a solve.
@@ -92,6 +97,13 @@ public:
 
   double setupSeconds() const { return SetupTime; }
 
+  /// The plan cache the Smat backend tuned through (the caller's from
+  /// AmgOptions::Cache, or the solver-owned one); null for the FixedCsr
+  /// backend or before setup().
+  const PlanCache *planCache() const {
+    return Options.Cache ? Options.Cache : OwnedCache.get();
+  }
+
 private:
   struct LevelOps {
     SpmvFn ApplyA, ApplyP, ApplyR;
@@ -108,6 +120,9 @@ private:
   /// Tuned operators (Smat backend); pointers into Hier stay valid because
   /// the hierarchy is immutable after setup.
   std::vector<TunedSpmv<double>> Tuned;
+  /// Fallback cache when the caller did not supply one (unique_ptr keeps
+  /// the solver movable; PlanCache itself holds a mutex).
+  std::unique_ptr<PlanCache> OwnedCache;
   std::vector<LevelFormatInfo> Decisions;
   DenseLu CoarseLu;
   bool UseCoarseLu = false;

@@ -1,0 +1,220 @@
+//===- core/FormatOperator.h - Polymorphic tuned SpMV operators -*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operator layer of the tuning runtime: one `FormatOperator<T>`
+/// implementation per storage format, each owning its converted storage and
+/// the scoreboard-selected kernel it dispatches to. `TunedSpmv::apply` goes
+/// through this interface instead of a format switch, so adding a format
+/// (paper contribution 3) means adding one class here plus its converter —
+/// the runtime pipeline itself is format-agnostic.
+///
+/// CSR is special: because it is the unified input format, the operator can
+/// either borrow the caller's matrix (zero-copy, the tune-once/apply-in-loop
+/// pattern) or own a copied/moved-in CSR when the caller cannot guarantee
+/// the input outlives the operator. See `CsrStorage`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_CORE_FORMATOPERATOR_H
+#define SMAT_CORE_FORMATOPERATOR_H
+
+#include "kernels/KernelRegistry.h"
+#include "kernels/Scoreboard.h"
+#include "matrix/FormatConvert.h"
+
+#include <memory>
+#include <utility>
+
+namespace smat {
+
+/// How a CSR-bound operator holds the input matrix.
+enum class CsrStorage {
+  /// Reference the caller's matrix; it must outlive the operator. This is
+  /// the default (zero conversion cost, zero memory cost) and matches the
+  /// paper's usage pattern.
+  Borrowed,
+  /// Copy (or, through the rvalue `Smat::tune` overload, move) the matrix
+  /// into the operator, which is then self-contained.
+  Owned,
+};
+
+/// A tuned SpMV operator bound to one (format, kernel) pair. Implementations
+/// own their converted storage; `apply` computes y := A*x.
+template <typename T> class FormatOperator {
+public:
+  virtual ~FormatOperator() = default;
+
+  /// Computes y := A*x with the bound kernel.
+  virtual void apply(const T *X, T *Y) const = 0;
+
+  /// \returns the storage format this operator executes in.
+  virtual FormatKind kind() const = 0;
+
+  /// \returns the bound kernel's registry name.
+  virtual const char *kernelName() const = 0;
+
+  /// \returns false only for the borrowed-CSR operator, whose storage is the
+  /// caller's matrix.
+  virtual bool ownsStorage() const { return true; }
+};
+
+/// CSR operator referencing the caller's matrix (no copy; the matrix must
+/// outlive the operator).
+template <typename T> class CsrBorrowedOperator final : public FormatOperator<T> {
+public:
+  CsrBorrowedOperator(const CsrMatrix<T> &A, CsrKernelFn<T> Fn,
+                      const char *Name)
+      : A(&A), Fn(Fn), Name(Name) {}
+
+  void apply(const T *X, T *Y) const override { Fn(*A, X, Y); }
+  FormatKind kind() const override { return FormatKind::CSR; }
+  const char *kernelName() const override { return Name; }
+  bool ownsStorage() const override { return false; }
+
+private:
+  const CsrMatrix<T> *A;
+  CsrKernelFn<T> Fn;
+  const char *Name;
+};
+
+/// CSR operator owning its matrix (copied or moved in).
+template <typename T> class CsrOwningOperator final : public FormatOperator<T> {
+public:
+  CsrOwningOperator(CsrMatrix<T> A, CsrKernelFn<T> Fn, const char *Name)
+      : A(std::move(A)), Fn(Fn), Name(Name) {}
+
+  void apply(const T *X, T *Y) const override { Fn(A, X, Y); }
+  FormatKind kind() const override { return FormatKind::CSR; }
+  const char *kernelName() const override { return Name; }
+
+private:
+  CsrMatrix<T> A;
+  CsrKernelFn<T> Fn;
+  const char *Name;
+};
+
+template <typename T> class CooOperator final : public FormatOperator<T> {
+public:
+  CooOperator(CooMatrix<T> A, CooKernelFn<T> Fn, const char *Name)
+      : A(std::move(A)), Fn(Fn), Name(Name) {}
+
+  void apply(const T *X, T *Y) const override { Fn(A, X, Y); }
+  FormatKind kind() const override { return FormatKind::COO; }
+  const char *kernelName() const override { return Name; }
+
+private:
+  CooMatrix<T> A;
+  CooKernelFn<T> Fn;
+  const char *Name;
+};
+
+template <typename T> class DiaOperator final : public FormatOperator<T> {
+public:
+  DiaOperator(DiaMatrix<T> A, DiaKernelFn<T> Fn, const char *Name)
+      : A(std::move(A)), Fn(Fn), Name(Name) {}
+
+  void apply(const T *X, T *Y) const override { Fn(A, X, Y); }
+  FormatKind kind() const override { return FormatKind::DIA; }
+  const char *kernelName() const override { return Name; }
+
+private:
+  DiaMatrix<T> A;
+  DiaKernelFn<T> Fn;
+  const char *Name;
+};
+
+template <typename T> class EllOperator final : public FormatOperator<T> {
+public:
+  EllOperator(EllMatrix<T> A, EllKernelFn<T> Fn, const char *Name)
+      : A(std::move(A)), Fn(Fn), Name(Name) {}
+
+  void apply(const T *X, T *Y) const override { Fn(A, X, Y); }
+  FormatKind kind() const override { return FormatKind::ELL; }
+  const char *kernelName() const override { return Name; }
+
+private:
+  EllMatrix<T> A;
+  EllKernelFn<T> Fn;
+  const char *Name;
+};
+
+template <typename T> class BsrOperator final : public FormatOperator<T> {
+public:
+  BsrOperator(BsrMatrix<T> A, BsrKernelFn<T> Fn, const char *Name)
+      : A(std::move(A)), Fn(Fn), Name(Name) {}
+
+  void apply(const T *X, T *Y) const override { Fn(A, X, Y); }
+  FormatKind kind() const override { return FormatKind::BSR; }
+  const char *kernelName() const override { return Name; }
+
+private:
+  BsrMatrix<T> A;
+  BsrKernelFn<T> Fn;
+  const char *Name;
+};
+
+/// Converts \p A to \p Requested and binds the scoreboard-selected kernel
+/// from \p Sel. A DIA/ELL/BSR conversion can be rejected by its fill guards
+/// even when the model predicted the format confidently; the fallback is
+/// always CSR (honoring \p Storage). \p MoveSource, when non-null, is the
+/// same matrix as \p A but mutable: an Owned CSR bind moves its storage
+/// instead of copying (the rvalue tune path).
+template <typename T>
+std::unique_ptr<FormatOperator<T>>
+bindFormatOperator(const CsrMatrix<T> &A, FormatKind Requested,
+                   const KernelSelection &Sel,
+                   CsrStorage Storage = CsrStorage::Borrowed,
+                   CsrMatrix<T> *MoveSource = nullptr) {
+  const KernelTable<T> &Kernels = kernelTable<T>();
+  auto Best = [&Sel](FormatKind Kind) {
+    return static_cast<std::size_t>(Sel.BestKernel[static_cast<int>(Kind)]);
+  };
+
+  switch (Requested) {
+  case FormatKind::COO: {
+    const auto &K = Kernels.Coo[Best(FormatKind::COO)];
+    return std::make_unique<CooOperator<T>>(csrToCoo(A), K.Fn, K.Name);
+  }
+  case FormatKind::DIA: {
+    DiaMatrix<T> Dia;
+    if (csrToDia(A, Dia)) {
+      const auto &K = Kernels.Dia[Best(FormatKind::DIA)];
+      return std::make_unique<DiaOperator<T>>(std::move(Dia), K.Fn, K.Name);
+    }
+    break;
+  }
+  case FormatKind::ELL: {
+    EllMatrix<T> Ell;
+    if (csrToEll(A, Ell)) {
+      const auto &K = Kernels.Ell[Best(FormatKind::ELL)];
+      return std::make_unique<EllOperator<T>>(std::move(Ell), K.Fn, K.Name);
+    }
+    break;
+  }
+  case FormatKind::BSR: {
+    index_t BlockSize = chooseBsrBlockSize(A);
+    BsrMatrix<T> Bsr;
+    if (BlockSize > 0 && csrToBsr(A, Bsr, BlockSize)) {
+      const auto &K = Kernels.Bsr[Best(FormatKind::BSR)];
+      return std::make_unique<BsrOperator<T>>(std::move(Bsr), K.Fn, K.Name);
+    }
+    break;
+  }
+  case FormatKind::CSR:
+    break;
+  }
+
+  const auto &K = Kernels.Csr[Best(FormatKind::CSR)];
+  if (Storage == CsrStorage::Owned)
+    return std::make_unique<CsrOwningOperator<T>>(
+        MoveSource ? std::move(*MoveSource) : CsrMatrix<T>(A), K.Fn, K.Name);
+  return std::make_unique<CsrBorrowedOperator<T>>(A, K.Fn, K.Name);
+}
+
+} // namespace smat
+
+#endif // SMAT_CORE_FORMATOPERATOR_H

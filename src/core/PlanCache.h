@@ -1,0 +1,123 @@
+//===- core/PlanCache.h - Feature-fingerprint tuning-plan cache -*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reuse layer of the tuning runtime. Tuning cost is dominated by the
+/// execute-and-measure fallback and the overhead baseline measurement; a
+/// production service tuning many matrices (or an AMG hierarchy whose
+/// coarse-grid operators repeat structure level after level) pays that cost
+/// again and again for structurally equivalent inputs. `PlanCache` maps a
+/// quantized structural fingerprint of the feature vector to the previously
+/// chosen format, so a matrix that lands in an already-tuned equivalence
+/// class skips prediction and measurement and goes straight to conversion +
+/// kernel binding.
+///
+/// The fingerprint buckets are deliberately coarse (log2 dimension buckets,
+/// log-scale density/dispersion, eighth-steps for the fill ratios): two
+/// matrices in the same bucket have feature vectors any learned rule treats
+/// near-identically, so reusing the decision does not change what the model
+/// would have answered — only what it costs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_CORE_PLANCACHE_H
+#define SMAT_CORE_PLANCACHE_H
+
+#include "features/FeatureExtractor.h"
+#include "matrix/Format.h"
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace smat {
+
+/// Quantized structural equivalence class of a feature vector. All fields
+/// are small bucket indices; equality means "tune decisions transfer".
+struct PlanFingerprint {
+  std::int16_t RowsLog2 = 0;        ///< floor(log2(M + 1)).
+  std::int16_t ColsLog2 = 0;        ///< floor(log2(N + 1)).
+  std::int16_t DensityBucket = 0;   ///< Half-log2 buckets of aver_RD.
+  std::int16_t DispersionBucket = 0;///< Log buckets of the row-degree CV.
+  std::int16_t MaxRdLog2 = 0;       ///< floor(log2(max_RD + 1)).
+  std::int16_t NdiagsLog2 = 0;      ///< floor(log2(Ndiags + 1)).
+  std::int16_t NTdiagsBucket = 0;   ///< NTdiags_ratio in eighth steps.
+  std::int16_t DiaFillBucket = 0;   ///< ER_DIA in eighth steps.
+  std::int16_t EllFillBucket = 0;   ///< ER_ELL in eighth steps.
+  std::int16_t BsrFillBucket = 0;   ///< ER_BSR in eighth steps.
+
+  friend bool operator==(const PlanFingerprint &,
+                         const PlanFingerprint &) = default;
+};
+
+/// FNV-1a over the fingerprint buckets.
+struct PlanFingerprintHash {
+  std::size_t operator()(const PlanFingerprint &Fp) const;
+};
+
+/// Computes the structural fingerprint of \p F. Uses only step-1 features
+/// (the power-law R is never required), so a fingerprint is available right
+/// after `FeatureStage` with no extra matrix traversal.
+PlanFingerprint fingerprintFeatures(const FeatureVector &F);
+
+/// What the cache remembers per equivalence class.
+struct CachedPlan {
+  /// The format the pipeline actually bound (post conversion-guard
+  /// fallback), not merely predicted.
+  FormatKind Format = FormatKind::CSR;
+  /// The overhead baseline (seconds of one basic CSR SpMV) measured when
+  /// the class was first tuned; reused so warm tunes skip re-measuring it.
+  double CsrSpmvSeconds = 0.0;
+};
+
+/// Monotonic hit/miss/insert/eviction counters.
+struct PlanCacheStats {
+  std::uint64_t Hits = 0;
+  std::uint64_t Misses = 0;
+  std::uint64_t Inserts = 0;
+  std::uint64_t Evictions = 0;
+};
+
+/// A bounded, thread-safe LRU cache of tuning plans keyed by structural
+/// fingerprint. Share one instance across every matrix a process tunes (or
+/// across an AMG hierarchy's levels) to amortize tuning cost.
+class PlanCache {
+public:
+  explicit PlanCache(std::size_t Capacity = 1024);
+
+  /// Looks up \p Fp; on a hit copies the plan into \p Plan, refreshes its
+  /// LRU position, and returns true. Counts a hit or a miss either way.
+  bool lookup(const PlanFingerprint &Fp, CachedPlan &Plan);
+
+  /// Inserts or overwrites the plan for \p Fp, evicting the least recently
+  /// used entry when at capacity.
+  void insert(const PlanFingerprint &Fp, const CachedPlan &Plan);
+
+  /// Drops every entry (counters are preserved; they are monotonic).
+  void clear();
+
+  PlanCacheStats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return Capacity; }
+
+private:
+  using Entry = std::pair<PlanFingerprint, CachedPlan>;
+
+  mutable std::mutex Mutex;
+  std::size_t Capacity;
+  /// Most recently used at the front.
+  std::list<Entry> Lru;
+  std::unordered_map<PlanFingerprint, std::list<Entry>::iterator,
+                     PlanFingerprintHash>
+      Index;
+  PlanCacheStats Counters;
+};
+
+} // namespace smat
+
+#endif // SMAT_CORE_PLANCACHE_H

@@ -6,73 +6,50 @@
 
 #include "core/Smat.h"
 
-#include "support/Compiler.h"
 #include "support/Timer.h"
 
 #include <stdexcept>
 
 using namespace smat;
 
-namespace {
-
-/// Cheap structural plausibility of a DIA/ELL conversion, computed from the
-/// already-extracted features so no conversion is attempted for hopeless
-/// candidates during execute-and-measure.
-bool diaPlausible(const FeatureVector &F) {
-  if (F.Ndiags <= 0 || F.Ndiags > DefaultMaxDiags)
-    return false;
-  return F.ErDia * DefaultMaxFillRatio >= 1.0;
-}
-
-bool ellPlausible(const FeatureVector &F) {
-  if (F.MaxRd <= 0)
-    return false;
-  return F.ErEll * DefaultMaxFillRatio >= 1.0;
-}
-
-/// BSR candidacy from the 4x4 block fill-efficiency feature; the runtime
-/// uses the same strict guard as training (padding inflates flops).
-bool bsrPlausible(const FeatureVector &F) {
-  constexpr double BsrMaxFillRatio = 1.5;
-  return F.ErBsr * BsrMaxFillRatio >= 1.0;
-}
-
-} // namespace
-
-template <typename T> void TunedSpmv<T>::apply(const T *X, T *Y) const {
-  switch (Report.ChosenFormat) {
-  case FormatKind::CSR:
-    CsrFn(*Csr, X, Y);
-    return;
-  case FormatKind::COO:
-    CooFn(*Coo, X, Y);
-    return;
-  case FormatKind::DIA:
-    DiaFn(*Dia, X, Y);
-    return;
-  case FormatKind::ELL:
-    EllFn(*Ell, X, Y);
-    return;
-  case FormatKind::BSR:
-    BsrFn(*Bsr, X, Y);
-    return;
-  }
-  smatUnreachable("invalid chosen format");
-}
-
 template <typename T> Smat<T> Smat<T>::fromFile(const std::string &Path) {
   LearningModel Model;
   std::string Error;
   if (!loadModelFile(Path, Model, Error))
-    throw std::runtime_error("SMAT model load failed: " + Error);
+    throw std::runtime_error("SMAT model load failed for '" + Path +
+                             "': " + Error);
+  return Smat(std::move(Model));
+}
+
+template <typename T>
+std::optional<Smat<T>> Smat<T>::tryFromFile(const std::string &Path,
+                                            std::string *Error) {
+  LearningModel Model;
+  std::string Reason;
+  if (!loadModelFile(Path, Model, Reason)) {
+    if (Error)
+      *Error = "SMAT model load failed for '" + Path + "': " + Reason;
+    return std::nullopt;
+  }
   return Smat(std::move(Model));
 }
 
 template <typename T>
 TunedSpmv<T> Smat<T>::tune(const CsrMatrix<T> &A,
                            const TuneOptions &Opts) const {
+  return tuneImpl(A, Opts, nullptr);
+}
+
+template <typename T>
+TunedSpmv<T> Smat<T>::tune(CsrMatrix<T> &&A, TuneOptions Opts) const {
+  Opts.CsrMode = CsrStorage::Owned;
+  return tuneImpl(A, Opts, &A);
+}
+
+template <typename T>
+TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
+                               CsrMatrix<T> *MoveSource) const {
   assert(A.isValid() && "tune() requires a structurally valid CSR matrix");
-  const KernelTable<T> &Kernels = kernelTable<T>();
   WallTimer TuneTimer;
 
   TunedSpmv<T> Op;
@@ -81,208 +58,93 @@ TunedSpmv<T> Smat<T>::tune(const CsrMatrix<T> &A,
   Op.Nnz = A.nnz();
   TuningReport &Report = Op.Report;
 
-  // --- Feature extraction, step 1 (everything but R). ---------------------
-  Report.Features = extractStructureFeatures(A);
+  TuningContext<T> Ctx{A, Model, Opts, MoveSource};
 
-  // --- Rule-group walk with lazy R (feature extraction step 2). -----------
-  // Groups are visited in DIA -> ELL -> CSR -> COO order; R is computed the
-  // first time a group whose rules reference it comes up (COO always does in
-  // spirit: its signature feature is the power-law exponent).
-  bool HaveR = false;
-  auto EnsureR = [&] {
-    if (HaveR)
-      return;
-    extractPowerLawFeature(A, Report.Features);
-    HaveR = true;
-  };
+  // Stage 1: feature extraction (step 1; R stays lazy inside PredictStage).
+  FeatureStageResult Features = FeatureStage::run(Ctx);
+  Report.FeatureSeconds = Features.Seconds;
 
-  Report.ModelConfident = false;
-  Report.ModelPrediction = Model.Rules.DefaultFormat;
-  Report.ModelConfidence = 0.0;
-  {
-    auto X = Report.Features.values();
-    for (FormatKind Kind : RuleGroupOrder) {
-      if (Kind == FormatKind::BSR && !Model.BsrEnabled)
-        continue;
-      if (Model.GroupUsesR[static_cast<int>(Kind)] ||
-          Kind == FormatKind::COO) {
-        EnsureR();
-        X = Report.Features.values();
-      }
-      double Confidence = Model.Rules.groupConfidence(Kind, X);
-      if (Confidence > Model.ConfidenceThreshold) {
-        Report.ModelPrediction = Kind;
-        Report.ModelConfidence = Confidence;
-        Report.ModelConfident = true;
-        break;
-      }
-    }
-    if (!Report.ModelConfident) {
-      EnsureR();
-      RulePrediction P = Model.Rules.classify(Report.Features.values());
-      Report.ModelPrediction = P.Format;
-      Report.ModelConfidence = P.Confidence;
-      Report.ModelConfident = P.Confidence > Model.ConfidenceThreshold;
+  // Plan-cache probe. The fingerprint needs only step-1 features, so a hit
+  // costs one extraction + one hash lookup and skips everything up to the
+  // bind. ForceMeasure bypasses the lookup (the caller wants ground truth)
+  // but the freshly tuned plan is still inserted below.
+  FormatKind Chosen = FormatKind::CSR;
+  bool Decided = false;
+  PlanFingerprint Fp;
+  if (Opts.Cache) {
+    Fp = fingerprintFeatures(Features.Features);
+    CachedPlan Plan;
+    if (!Opts.ForceMeasure && Opts.Cache->lookup(Fp, Plan)) {
+      Chosen = Plan.Format;
+      Report.CsrSpmvSeconds = Plan.CsrSpmvSeconds;
+      Report.PlanCacheHit = true;
+      Decided = true;
     }
   }
 
-  // --- Decide the format. --------------------------------------------------
-  FormatKind Chosen = Report.ModelPrediction;
-  bool Measure =
-      Opts.ForceMeasure || (!Report.ModelConfident && Opts.AllowMeasure);
-  if (Measure) {
-    // Execute-and-measure over the plausible candidates (paper Figure 7's
-    // below-threshold path; Table 3 shows e.g. "CSR+COO" executions).
-    AlignedVector<T> X(static_cast<std::size_t>(A.NumCols), T(1));
-    AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows), T(0));
+  // The overhead-baseline measurement is excluded from TuneSeconds (it is
+  // the unit of Table 3's metric, not part of tuning); track it so it can be
+  // subtracted from the wall clock at the end.
+  double BaselineSeconds = 0.0;
 
-    auto Consider = [&](FormatKind Kind, auto &&RunOnce) {
-      double Seconds =
-          measureSecondsPerCall(RunOnce, Opts.MeasureMinSeconds);
-      Report.MeasuredGflops.emplace_back(
-          Kind, spmvGflops(static_cast<std::uint64_t>(A.nnz()), Seconds));
-    };
+  if (!Decided) {
+    // Stage 2: confidence-gated prediction.
+    PredictStageResult Prediction = PredictStage::run(Ctx, Features);
+    Report.ModelPrediction = Prediction.Prediction;
+    Report.ModelConfidence = Prediction.Confidence;
+    Report.ModelConfident = Prediction.Confident;
+    Report.PredictSeconds = Prediction.Seconds;
+    Chosen = Prediction.Prediction;
 
-    auto BestIdx = [this](FormatKind Kind) {
-      return static_cast<std::size_t>(
-          Model.Kernels.BestKernel[static_cast<int>(Kind)]);
-    };
+    // Stage 3: execute-and-measure when forced or unconfident.
+    if (MeasureStage::shouldRun(Opts, Prediction)) {
+      MeasureStageResult Measured =
+          MeasureStage::run(Ctx, Features, Prediction.Prediction);
+      Report.MeasuredGflops = std::move(Measured.MeasuredGflops);
+      Report.MeasureSeconds = Measured.Seconds;
+      Chosen = Measured.Best;
+    }
 
-    Consider(FormatKind::CSR, [&] {
-      Kernels.Csr[BestIdx(FormatKind::CSR)].Fn(A, X.data(), Y.data());
-    });
+    // Overhead unit: one basic CSR SpMV on this matrix (Table 3's metric).
+    // Measured before the bind because an rvalue-path bind may move A away.
     {
-      CooMatrix<T> Coo = csrToCoo(A);
-      Consider(FormatKind::COO, [&] {
-        Kernels.Coo[BestIdx(FormatKind::COO)].Fn(Coo, X.data(), Y.data());
-      });
+      WallTimer BaselineTimer;
+      const KernelTable<T> &Kernels = kernelTable<T>();
+      AlignedVector<T> X(static_cast<std::size_t>(A.NumCols), T(1));
+      AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows), T(0));
+      Report.CsrSpmvSeconds = measureSecondsPerCall(
+          [&] { Kernels.Csr[0].Fn(A, X.data(), Y.data()); }, 1e-4, 2);
+      BaselineSeconds = BaselineTimer.seconds();
     }
-    if (diaPlausible(Report.Features)) {
-      DiaMatrix<T> Dia;
-      if (csrToDia(A, Dia))
-        Consider(FormatKind::DIA, [&] {
-          Kernels.Dia[BestIdx(FormatKind::DIA)].Fn(Dia, X.data(), Y.data());
-        });
-    }
-    if (ellPlausible(Report.Features)) {
-      EllMatrix<T> Ell;
-      if (csrToEll(A, Ell))
-        Consider(FormatKind::ELL, [&] {
-          Kernels.Ell[BestIdx(FormatKind::ELL)].Fn(Ell, X.data(), Y.data());
-        });
-    }
-    if (Model.BsrEnabled && bsrPlausible(Report.Features)) {
-      index_t BlockSize = chooseBsrBlockSize(A);
-      BsrMatrix<T> Bsr;
-      if (BlockSize > 0 && csrToBsr(A, Bsr, BlockSize))
-        Consider(FormatKind::BSR, [&] {
-          Kernels.Bsr[BestIdx(FormatKind::BSR)].Fn(Bsr, X.data(), Y.data());
-        });
-    }
-
-    double BestGflops = -1.0;
-    for (const auto &[Kind, Gflops] : Report.MeasuredGflops)
-      if (Gflops > BestGflops) {
-        BestGflops = Gflops;
-        Chosen = Kind;
-      }
   }
 
-  // --- Convert and bind the optimal kernel. --------------------------------
-  // A DIA/ELL conversion can still fail here when the model predicted it
-  // confidently but the guards disagree; CSR is the safe fallback.
-  Report.ChosenFormat = Chosen;
-  auto BestIdx = [this](FormatKind Kind) {
-    return static_cast<std::size_t>(
-        Model.Kernels.BestKernel[static_cast<int>(Kind)]);
-  };
-  switch (Chosen) {
-  case FormatKind::COO:
-    Op.Coo = std::make_unique<CooMatrix<T>>(csrToCoo(A));
-    break;
-  case FormatKind::DIA: {
-    auto Dia = std::make_unique<DiaMatrix<T>>();
-    if (csrToDia(A, *Dia))
-      Op.Dia = std::move(Dia);
-    else
-      Report.ChosenFormat = FormatKind::CSR;
-    break;
-  }
-  case FormatKind::ELL: {
-    auto Ell = std::make_unique<EllMatrix<T>>();
-    if (csrToEll(A, *Ell))
-      Op.Ell = std::move(Ell);
-    else
-      Report.ChosenFormat = FormatKind::CSR;
-    break;
-  }
-  case FormatKind::BSR: {
-    auto Bsr = std::make_unique<BsrMatrix<T>>();
-    index_t BlockSize = chooseBsrBlockSize(A);
-    if (BlockSize > 0 && csrToBsr(A, *Bsr, BlockSize))
-      Op.Bsr = std::move(Bsr);
-    else
-      Report.ChosenFormat = FormatKind::CSR;
-    break;
-  }
-  case FormatKind::CSR:
-    break;
-  }
+  // Stage 4: conversion + kernel binding. The bound format can fall back to
+  // CSR when a conversion guard rejects a confident prediction (or a stale
+  // cached plan); the report and the cache both record what was bound.
+  BindStageResult<T> Bound = BindStage::run(Ctx, Chosen);
+  Report.ChosenFormat = Bound.BoundFormat;
+  Report.KernelName = std::move(Bound.KernelName);
+  Report.BindSeconds = Bound.Seconds;
+  Op.Op = std::move(Bound.Op);
 
-  switch (Report.ChosenFormat) {
-  case FormatKind::CSR: {
-    Op.Csr = &A;
-    const auto &K = Kernels.Csr[BestIdx(FormatKind::CSR)];
-    Op.CsrFn = K.Fn;
-    Report.KernelName = K.Name;
-    break;
-  }
-  case FormatKind::COO: {
-    const auto &K = Kernels.Coo[BestIdx(FormatKind::COO)];
-    Op.CooFn = K.Fn;
-    Report.KernelName = K.Name;
-    break;
-  }
-  case FormatKind::DIA: {
-    const auto &K = Kernels.Dia[BestIdx(FormatKind::DIA)];
-    Op.DiaFn = K.Fn;
-    Report.KernelName = K.Name;
-    break;
-  }
-  case FormatKind::ELL: {
-    const auto &K = Kernels.Ell[BestIdx(FormatKind::ELL)];
-    Op.EllFn = K.Fn;
-    Report.KernelName = K.Name;
-    break;
-  }
-  case FormatKind::BSR: {
-    const auto &K = Kernels.Bsr[BestIdx(FormatKind::BSR)];
-    Op.BsrFn = K.Fn;
-    Report.KernelName = K.Name;
-    break;
-  }
-  }
+  if (Opts.Cache && !Report.PlanCacheHit)
+    Opts.Cache->insert(Fp, {Report.ChosenFormat, Report.CsrSpmvSeconds});
 
-  Report.TuneSeconds = TuneTimer.seconds();
-
-  // Overhead unit: one basic CSR SpMV on this matrix (Table 3's metric).
-  {
-    AlignedVector<T> X(static_cast<std::size_t>(A.NumCols), T(1));
-    AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows), T(0));
-    Report.CsrSpmvSeconds = measureSecondsPerCall(
-        [&] { Kernels.Csr[0].Fn(A, X.data(), Y.data()); }, 1e-4, 2);
-  }
+  Report.Features = Features.Features;
+  Report.TuneSeconds = std::max(0.0, TuneTimer.seconds() - BaselineSeconds);
   return Op;
 }
 
 TunedSpmv<double> smat::SMAT_dCSR_SpMV(const Smat<double> &Tuner,
-                                       const CsrMatrix<double> &A) {
-  return Tuner.tune(A);
+                                       const CsrMatrix<double> &A,
+                                       const TuneOptions &Opts) {
+  return Tuner.tune(A, Opts);
 }
 
 TunedSpmv<float> smat::SMAT_sCSR_SpMV(const Smat<float> &Tuner,
-                                      const CsrMatrix<float> &A) {
-  return Tuner.tune(A);
+                                      const CsrMatrix<float> &A,
+                                      const TuneOptions &Opts) {
+  return Tuner.tune(A, Opts);
 }
 
 namespace smat {

@@ -7,15 +7,28 @@
 /// \file
 /// The on-line stage of SMAT (paper Section 6 / Figure 7) and the unified
 /// programming interface (paper Figure 5): the user hands over a CSR matrix
-/// and receives a tuned SpMV — feature extraction, confidence-gated ruleset
-/// prediction, optional execute-and-measure fallback, format conversion, and
-/// optimal-kernel binding all happen behind `SMAT_xCSR_SpMV`.
+/// and receives a tuned SpMV. The runtime is a staged pipeline
+/// (FeatureStage -> PredictStage -> MeasureStage -> BindStage, see
+/// TuningPipeline.h) with an optional feature-fingerprint PlanCache that
+/// lets structurally equivalent matrices skip prediction and measurement.
 ///
 /// Typical usage:
 /// \code
 ///   smat::Smat<double> Tuner(Model);            // model trained off-line
 ///   smat::TunedSpmv<double> Op = Tuner.tune(A); // A: CsrMatrix<double>
 ///   Op.apply(X.data(), Y.data());               // y := A*x, tuned kernel
+///
+///   // Tuning many structurally similar matrices? Share a plan cache so
+///   // repeated structure pays the full tuning cost only once:
+///   smat::PlanCache Cache;
+///   smat::TuneOptions Opts;
+///   Opts.Cache = &Cache;
+///   for (const auto &M : Matrices)
+///     Ops.push_back(Tuner.tune(M, Opts));       // warm tunes skip measure
+///
+///   // Input cannot outlive the operator? Request an owning CSR bind:
+///   Opts.CsrMode = smat::CsrStorage::Owned;
+///   smat::TunedSpmv<double> SelfContained = Tuner.tune(Temporary, Opts);
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -24,55 +37,65 @@
 #define SMAT_CORE_SMAT_H
 
 #include "core/LearningModel.h"
+#include "core/PlanCache.h"
+#include "core/TuningPipeline.h"
 #include "matrix/FormatConvert.h"
 
+#include <cassert>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace smat {
 
-/// What the tuner did for one matrix: the Table-3 trace columns.
+/// What the tuner did for one matrix: the Table-3 trace columns plus
+/// per-stage wall-clock accounting.
 struct TuningReport {
   FeatureVector Features;
-  /// Ruleset outcome.
+  /// Ruleset outcome. Meaningless (left at defaults) when PlanCacheHit is
+  /// set: a cache hit skips PredictStage entirely.
   FormatKind ModelPrediction = FormatKind::CSR;
   double ModelConfidence = 0.0;
   bool ModelConfident = false;
-  /// Execute-and-measure outcome (empty when the model was confident).
+  /// Execute-and-measure outcome (empty when the model was confident or the
+  /// plan came from the cache).
   std::vector<std::pair<FormatKind, double>> MeasuredGflops;
   /// Final decision.
   FormatKind ChosenFormat = FormatKind::CSR;
   std::string KernelName;
+  /// True when the decision was reused from a PlanCache fingerprint hit
+  /// (PredictStage, MeasureStage, and the baseline measurement were
+  /// skipped).
+  bool PlanCacheHit = false;
   /// Overhead accounting: total tuning seconds and the equivalent number of
   /// basic CSR-SpMV executions (the paper's "times of CSR-SpMV" metric).
+  /// TuneSeconds excludes the baseline measurement itself.
   double TuneSeconds = 0.0;
   double CsrSpmvSeconds = 0.0;
+  /// Per-stage wall-clock accounting. FeatureSeconds covers extraction
+  /// step 1; a lazily triggered step 2 (power-law R) is included in
+  /// PredictSeconds, which demanded it.
+  double FeatureSeconds = 0.0;
+  double PredictSeconds = 0.0;
+  double MeasureSeconds = 0.0;
+  double BindSeconds = 0.0;
 
   double overheadRatio() const {
     return CsrSpmvSeconds > 0 ? TuneSeconds / CsrSpmvSeconds : 0.0;
   }
 };
 
-/// Tuning knobs for one tune() call.
-struct TuneOptions {
-  /// Permit the execute-and-measure fallback (paper Figure 7's
-  /// "< threshold" path). When false, low-confidence predictions are used
-  /// as-is.
-  bool AllowMeasure = true;
-  /// Force execute-and-measure even for confident predictions (used by the
-  /// accuracy analysis to recover the ground-truth best format).
-  bool ForceMeasure = false;
-  /// Measurement floor per candidate during execute-and-measure.
-  double MeasureMinSeconds = 5e-4;
-};
-
 /// A tuned SpMV operator bound to one matrix.
 ///
-/// Owns the converted COO/DIA/ELL storage. When the chosen format is CSR the
-/// operator references the caller's matrix instead of copying it, so the
-/// input CsrMatrix must outlive the TunedSpmv (the usual pattern: tune once,
-/// apply in a solver loop, drop both together).
+/// Dispatch goes through the polymorphic `FormatOperator`, which owns the
+/// converted COO/DIA/ELL/BSR storage. When the chosen format is CSR the
+/// default (`CsrStorage::Borrowed`) operator references the caller's matrix
+/// instead of copying it, so the input CsrMatrix must outlive the TunedSpmv
+/// (the usual pattern: tune once, apply in a solver loop, drop both
+/// together); `ownsStorage()` reports whether that constraint applies.
+/// Request `TuneOptions::CsrMode = CsrStorage::Owned` (or tune from an
+/// rvalue matrix) for a self-contained operator.
 template <typename T> class TunedSpmv {
 public:
   /// \returns the chosen storage format.
@@ -86,7 +109,20 @@ public:
 
   /// Computes y := A*x with the tuned (format, kernel) pair.
   /// \p X must have numCols() elements, \p Y numRows().
-  void apply(const T *X, T *Y) const;
+  void apply(const T *X, T *Y) const {
+    assert(Op && "apply() on a default or moved-from TunedSpmv");
+    Op->apply(X, Y);
+  }
+
+  /// \returns the bound operator (for storage/ownership introspection).
+  const FormatOperator<T> &formatOperator() const {
+    assert(Op && "no operator bound");
+    return *Op;
+  }
+
+  /// \returns false when the operator borrows the caller's CSR matrix,
+  /// which must then outlive this object.
+  bool ownsStorage() const { return Op && Op->ownsStorage(); }
 
   index_t numRows() const { return NumRows; }
   index_t numCols() const { return NumCols; }
@@ -98,19 +134,7 @@ private:
   TuningReport Report;
   index_t NumRows = 0, NumCols = 0;
   std::int64_t Nnz = 0;
-
-  // Exactly one of these is active, per Report.ChosenFormat.
-  const CsrMatrix<T> *Csr = nullptr; ///< Borrowed from the caller.
-  std::unique_ptr<CooMatrix<T>> Coo;
-  std::unique_ptr<DiaMatrix<T>> Dia;
-  std::unique_ptr<EllMatrix<T>> Ell;
-  std::unique_ptr<BsrMatrix<T>> Bsr;
-
-  CsrKernelFn<T> CsrFn = nullptr;
-  CooKernelFn<T> CooFn = nullptr;
-  DiaKernelFn<T> DiaFn = nullptr;
-  EllKernelFn<T> EllFn = nullptr;
-  BsrKernelFn<T> BsrFn = nullptr;
+  std::unique_ptr<FormatOperator<T>> Op;
 };
 
 /// The SMAT auto-tuner: one instance per trained model (reused across
@@ -121,17 +145,32 @@ public:
     Model.refreshRuleMetadata();
   }
 
-  /// Loads a model file produced by saveModelFile.
+  /// Loads a model file produced by saveModelFile. Throws std::runtime_error
+  /// (with the path and parse error in the message) on failure.
   static Smat fromFile(const std::string &Path);
+
+  /// Non-throwing variant of fromFile: \returns the tuner, or std::nullopt
+  /// with the failure reason written to \p Error (when non-null).
+  static std::optional<Smat> tryFromFile(const std::string &Path,
+                                         std::string *Error = nullptr);
 
   const LearningModel &model() const { return Model; }
 
-  /// Tunes SpMV for \p A: the complete runtime procedure of paper Figure 7.
-  /// \p A must outlive the returned operator (see TunedSpmv).
+  /// Tunes SpMV for \p A: the staged pipeline of paper Figure 7. With the
+  /// default `CsrStorage::Borrowed`, \p A must outlive the returned operator
+  /// (see TunedSpmv).
   TunedSpmv<T> tune(const CsrMatrix<T> &A,
                     const TuneOptions &Opts = TuneOptions()) const;
 
+  /// Rvalue overload: consumes \p A and returns a self-contained operator
+  /// (a CSR bind moves the storage in; other formats convert and drop it).
+  TunedSpmv<T> tune(CsrMatrix<T> &&A,
+                    TuneOptions Opts = TuneOptions()) const;
+
 private:
+  TunedSpmv<T> tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
+                        CsrMatrix<T> *MoveSource) const;
+
   LearningModel Model;
 };
 
@@ -141,11 +180,14 @@ extern template class Smat<float>;
 extern template class Smat<double>;
 
 /// The paper's unified C-style interface (Figure 5): one call, CSR in,
-/// tuned SpMV out. 'd'/'s' select double/single precision.
+/// tuned SpMV out. 'd'/'s' select double/single precision. The optional
+/// \p Opts carries the production knobs (plan cache, CSR ownership).
 TunedSpmv<double> SMAT_dCSR_SpMV(const Smat<double> &Tuner,
-                                 const CsrMatrix<double> &A);
+                                 const CsrMatrix<double> &A,
+                                 const TuneOptions &Opts = TuneOptions());
 TunedSpmv<float> SMAT_sCSR_SpMV(const Smat<float> &Tuner,
-                                const CsrMatrix<float> &A);
+                                const CsrMatrix<float> &A,
+                                const TuneOptions &Opts = TuneOptions());
 
 } // namespace smat
 

@@ -1,0 +1,215 @@
+//===- core/TuningPipeline.cpp - Staged on-line tuning pipeline -----------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TuningPipeline.h"
+
+#include "support/Timer.h"
+
+using namespace smat;
+
+namespace {
+
+/// Cheap structural plausibility of a DIA/ELL conversion, computed from the
+/// already-extracted features so no conversion is attempted for hopeless
+/// candidates during execute-and-measure.
+bool diaPlausible(const FeatureVector &F) {
+  if (F.Ndiags <= 0 || F.Ndiags > DefaultMaxDiags)
+    return false;
+  return F.ErDia * DefaultMaxFillRatio >= 1.0;
+}
+
+bool ellPlausible(const FeatureVector &F) {
+  if (F.MaxRd <= 0)
+    return false;
+  return F.ErEll * DefaultMaxFillRatio >= 1.0;
+}
+
+/// BSR candidacy from the 4x4 block fill-efficiency feature; the runtime
+/// uses the same strict guard as training (padding inflates flops).
+bool bsrPlausible(const FeatureVector &F) {
+  constexpr double BsrMaxFillRatio = 1.5;
+  return F.ErBsr * BsrMaxFillRatio >= 1.0;
+}
+
+} // namespace
+
+// --- FeatureStage -----------------------------------------------------------
+
+template <typename T>
+FeatureStageResult FeatureStage::run(const TuningContext<T> &Ctx) {
+  WallTimer Timer;
+  FeatureStageResult Result;
+  Result.Features = extractStructureFeatures(Ctx.A);
+  Result.Seconds = Timer.seconds();
+  return Result;
+}
+
+template <typename T>
+void FeatureStage::ensurePowerLaw(const TuningContext<T> &Ctx,
+                                  FeatureStageResult &Features) {
+  if (Features.HaveR)
+    return;
+  extractPowerLawFeature(Ctx.A, Features.Features);
+  Features.HaveR = true;
+}
+
+// --- PredictStage -----------------------------------------------------------
+
+template <typename T>
+PredictStageResult PredictStage::run(const TuningContext<T> &Ctx,
+                                     FeatureStageResult &Features) {
+  WallTimer Timer;
+  const LearningModel &Model = Ctx.Model;
+  PredictStageResult Result;
+  Result.Prediction = Model.Rules.DefaultFormat;
+
+  // Rule-group walk with lazy R (feature extraction step 2). Groups are
+  // visited in DIA -> ELL -> [BSR] -> CSR -> COO order; R is computed the
+  // first time a group whose rules reference it comes up (COO always does in
+  // spirit: its signature feature is the power-law exponent).
+  auto X = Features.Features.values();
+  for (FormatKind Kind : RuleGroupOrder) {
+    if (Kind == FormatKind::BSR && !Model.BsrEnabled)
+      continue;
+    if (Model.GroupUsesR[static_cast<int>(Kind)] || Kind == FormatKind::COO) {
+      FeatureStage::ensurePowerLaw(Ctx, Features);
+      X = Features.Features.values();
+    }
+    double Confidence = Model.Rules.groupConfidence(Kind, X);
+    if (Confidence > Model.ConfidenceThreshold) {
+      Result.Prediction = Kind;
+      Result.Confidence = Confidence;
+      Result.Confident = true;
+      break;
+    }
+  }
+  if (!Result.Confident) {
+    FeatureStage::ensurePowerLaw(Ctx, Features);
+    RulePrediction P = Model.Rules.classify(Features.Features.values());
+    Result.Prediction = P.Format;
+    Result.Confidence = P.Confidence;
+    Result.Confident = P.Confidence > Model.ConfidenceThreshold;
+  }
+  Result.Seconds = Timer.seconds();
+  return Result;
+}
+
+// --- MeasureStage -----------------------------------------------------------
+
+bool MeasureStage::shouldRun(const TuneOptions &Opts,
+                             const PredictStageResult &Prediction) {
+  return Opts.ForceMeasure || (!Prediction.Confident && Opts.AllowMeasure);
+}
+
+template <typename T>
+MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
+                                     const FeatureStageResult &Features,
+                                     FormatKind Fallback) {
+  WallTimer Timer;
+  const CsrMatrix<T> &A = Ctx.A;
+  const LearningModel &Model = Ctx.Model;
+  const KernelTable<T> &Kernels = kernelTable<T>();
+  MeasureStageResult Result;
+  Result.Best = Fallback;
+
+  // Execute-and-measure over the plausible candidates (paper Figure 7's
+  // below-threshold path; Table 3 shows e.g. "CSR+COO" executions).
+  AlignedVector<T> X(static_cast<std::size_t>(A.NumCols), T(1));
+  AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows), T(0));
+
+  auto Consider = [&](FormatKind Kind, auto &&RunOnce) {
+    double Seconds =
+        measureSecondsPerCall(RunOnce, Ctx.Opts.MeasureMinSeconds);
+    Result.MeasuredGflops.emplace_back(
+        Kind, spmvGflops(static_cast<std::uint64_t>(A.nnz()), Seconds));
+  };
+
+  auto BestIdx = [&Model](FormatKind Kind) {
+    return static_cast<std::size_t>(
+        Model.Kernels.BestKernel[static_cast<int>(Kind)]);
+  };
+
+  Consider(FormatKind::CSR, [&] {
+    Kernels.Csr[BestIdx(FormatKind::CSR)].Fn(A, X.data(), Y.data());
+  });
+  {
+    CooMatrix<T> Coo = csrToCoo(A);
+    Consider(FormatKind::COO, [&] {
+      Kernels.Coo[BestIdx(FormatKind::COO)].Fn(Coo, X.data(), Y.data());
+    });
+  }
+  if (diaPlausible(Features.Features)) {
+    DiaMatrix<T> Dia;
+    if (csrToDia(A, Dia))
+      Consider(FormatKind::DIA, [&] {
+        Kernels.Dia[BestIdx(FormatKind::DIA)].Fn(Dia, X.data(), Y.data());
+      });
+  }
+  if (ellPlausible(Features.Features)) {
+    EllMatrix<T> Ell;
+    if (csrToEll(A, Ell))
+      Consider(FormatKind::ELL, [&] {
+        Kernels.Ell[BestIdx(FormatKind::ELL)].Fn(Ell, X.data(), Y.data());
+      });
+  }
+  if (Model.BsrEnabled && bsrPlausible(Features.Features)) {
+    index_t BlockSize = chooseBsrBlockSize(A);
+    BsrMatrix<T> Bsr;
+    if (BlockSize > 0 && csrToBsr(A, Bsr, BlockSize))
+      Consider(FormatKind::BSR, [&] {
+        Kernels.Bsr[BestIdx(FormatKind::BSR)].Fn(Bsr, X.data(), Y.data());
+      });
+  }
+
+  double BestGflops = -1.0;
+  for (const auto &[Kind, Gflops] : Result.MeasuredGflops)
+    if (Gflops > BestGflops) {
+      BestGflops = Gflops;
+      Result.Best = Kind;
+    }
+  Result.Seconds = Timer.seconds();
+  return Result;
+}
+
+// --- BindStage --------------------------------------------------------------
+
+template <typename T>
+BindStageResult<T> BindStage::run(const TuningContext<T> &Ctx,
+                                  FormatKind Requested) {
+  WallTimer Timer;
+  BindStageResult<T> Result;
+  Result.Op = bindFormatOperator(Ctx.A, Requested, Ctx.Model.Kernels,
+                                 Ctx.Opts.CsrMode, Ctx.MoveSource);
+  Result.BoundFormat = Result.Op->kind();
+  Result.KernelName = Result.Op->kernelName();
+  Result.Seconds = Timer.seconds();
+  return Result;
+}
+
+// --- Explicit instantiations ------------------------------------------------
+
+namespace smat {
+template FeatureStageResult FeatureStage::run(const TuningContext<float> &);
+template FeatureStageResult FeatureStage::run(const TuningContext<double> &);
+template void FeatureStage::ensurePowerLaw(const TuningContext<float> &,
+                                           FeatureStageResult &);
+template void FeatureStage::ensurePowerLaw(const TuningContext<double> &,
+                                           FeatureStageResult &);
+template PredictStageResult PredictStage::run(const TuningContext<float> &,
+                                              FeatureStageResult &);
+template PredictStageResult PredictStage::run(const TuningContext<double> &,
+                                              FeatureStageResult &);
+template MeasureStageResult MeasureStage::run(const TuningContext<float> &,
+                                              const FeatureStageResult &,
+                                              FormatKind);
+template MeasureStageResult MeasureStage::run(const TuningContext<double> &,
+                                              const FeatureStageResult &,
+                                              FormatKind);
+template BindStageResult<float> BindStage::run(const TuningContext<float> &,
+                                               FormatKind);
+template BindStageResult<double> BindStage::run(const TuningContext<double> &,
+                                                FormatKind);
+} // namespace smat

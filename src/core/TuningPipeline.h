@@ -1,0 +1,184 @@
+//===- core/TuningPipeline.h - Staged on-line tuning pipeline ---*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline layer of the tuning runtime: paper Figure 7's linear
+/// procedure split into four named, individually testable stages, each
+/// returning a typed result with its own wall-clock accounting:
+///
+///   FeatureStage  — Table-2 feature extraction (step 1 eagerly, the
+///                   power-law step 2 lazily on demand);
+///   PredictStage  — confidence-gated rule-group walk over the trained
+///                   ruleset;
+///   MeasureStage  — execute-and-measure fallback over the plausible
+///                   candidate formats;
+///   BindStage     — format conversion (with guard fallback to CSR) and
+///                   optimal-kernel binding through `FormatOperator`.
+///
+/// `Smat::tune` composes these stages — and consults the optional
+/// `PlanCache` between FeatureStage and PredictStage — but each stage is a
+/// plain function of its typed inputs, so tests and ablations can run any
+/// stage in isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_CORE_TUNINGPIPELINE_H
+#define SMAT_CORE_TUNINGPIPELINE_H
+
+#include "core/FormatOperator.h"
+#include "core/LearningModel.h"
+#include "features/FeatureExtractor.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smat {
+
+class PlanCache;
+
+/// Tuning knobs for one tune() call.
+struct TuneOptions {
+  /// Permit the execute-and-measure fallback (paper Figure 7's
+  /// "< threshold" path). When false, low-confidence predictions are used
+  /// as-is.
+  bool AllowMeasure = true;
+  /// Force execute-and-measure even for confident predictions (used by the
+  /// accuracy analysis to recover the ground-truth best format). Also
+  /// bypasses PlanCache lookups: forced measurement means the caller wants
+  /// fresh ground truth, not a reused plan.
+  bool ForceMeasure = false;
+  /// Measurement floor per candidate during execute-and-measure.
+  double MeasureMinSeconds = 5e-4;
+  /// Whether a CSR-bound operator borrows the caller's matrix (default) or
+  /// owns a copy. The rvalue `Smat::tune` overload forces Owned and moves
+  /// the storage instead of copying.
+  CsrStorage CsrMode = CsrStorage::Borrowed;
+  /// Optional plan cache shared across tune() calls. A fingerprint hit
+  /// skips PredictStage, MeasureStage, and the overhead-baseline
+  /// measurement entirely; a miss inserts the bound plan afterwards.
+  PlanCache *Cache = nullptr;
+};
+
+/// Everything the stages read; one per tune() call.
+template <typename T> struct TuningContext {
+  const CsrMatrix<T> &A;
+  const LearningModel &Model;
+  const TuneOptions &Opts;
+  /// Non-null only on the rvalue tune path: the same matrix as A, mutable,
+  /// so an Owned CSR bind can move the storage instead of copying it.
+  CsrMatrix<T> *MoveSource = nullptr;
+};
+
+/// Result of FeatureStage. Seconds covers step 1 only; a lazily triggered
+/// step 2 (power-law R) is accounted to the stage that demanded it.
+struct FeatureStageResult {
+  FeatureVector Features;
+  /// Whether step 2 (the power-law R) has been computed.
+  bool HaveR = false;
+  double Seconds = 0.0;
+};
+
+/// Result of PredictStage.
+struct PredictStageResult {
+  FormatKind Prediction = FormatKind::CSR;
+  double Confidence = 0.0;
+  /// True when some rule group cleared the model's confidence threshold.
+  bool Confident = false;
+  double Seconds = 0.0;
+};
+
+/// Result of MeasureStage.
+struct MeasureStageResult {
+  /// (format, GFLOPS) per measured candidate, in measurement order.
+  std::vector<std::pair<FormatKind, double>> MeasuredGflops;
+  /// The measured winner (or the fallback passed in when nothing ran).
+  FormatKind Best = FormatKind::CSR;
+  double Seconds = 0.0;
+};
+
+/// Result of BindStage.
+template <typename T> struct BindStageResult {
+  std::unique_ptr<FormatOperator<T>> Op;
+  /// The format actually bound: the requested one, or CSR when a
+  /// conversion guard rejected it.
+  FormatKind BoundFormat = FormatKind::CSR;
+  std::string KernelName;
+  double Seconds = 0.0;
+};
+
+/// Stage 1: Table-2 feature extraction (paper Section 6's two-step split).
+class FeatureStage {
+public:
+  /// Runs step 1 (one matrix traversal, everything but R).
+  template <typename T>
+  static FeatureStageResult run(const TuningContext<T> &Ctx);
+
+  /// Runs step 2 (power-law R) if it has not run yet; idempotent.
+  template <typename T>
+  static void ensurePowerLaw(const TuningContext<T> &Ctx,
+                             FeatureStageResult &Features);
+};
+
+/// Stage 2: the confidence-gated rule-group walk (DIA -> ELL -> [BSR] ->
+/// CSR -> COO), computing R lazily the first time a group needs it.
+class PredictStage {
+public:
+  template <typename T>
+  static PredictStageResult run(const TuningContext<T> &Ctx,
+                                FeatureStageResult &Features);
+};
+
+/// Stage 3: execute-and-measure over the plausible candidates.
+class MeasureStage {
+public:
+  /// The Figure-7 gate: forced, or unconfident with measurement allowed.
+  static bool shouldRun(const TuneOptions &Opts,
+                        const PredictStageResult &Prediction);
+
+  /// Measures every candidate that passes its structural plausibility
+  /// guard; \p Fallback is returned as Best when nothing is measured.
+  template <typename T>
+  static MeasureStageResult run(const TuningContext<T> &Ctx,
+                                const FeatureStageResult &Features,
+                                FormatKind Fallback);
+};
+
+/// Stage 4: conversion + kernel binding through the operator layer.
+class BindStage {
+public:
+  template <typename T>
+  static BindStageResult<T> run(const TuningContext<T> &Ctx,
+                                FormatKind Requested);
+};
+
+extern template FeatureStageResult
+FeatureStage::run(const TuningContext<float> &);
+extern template FeatureStageResult
+FeatureStage::run(const TuningContext<double> &);
+extern template void FeatureStage::ensurePowerLaw(const TuningContext<float> &,
+                                                  FeatureStageResult &);
+extern template void
+FeatureStage::ensurePowerLaw(const TuningContext<double> &,
+                             FeatureStageResult &);
+extern template PredictStageResult
+PredictStage::run(const TuningContext<float> &, FeatureStageResult &);
+extern template PredictStageResult
+PredictStage::run(const TuningContext<double> &, FeatureStageResult &);
+extern template MeasureStageResult
+MeasureStage::run(const TuningContext<float> &, const FeatureStageResult &,
+                  FormatKind);
+extern template MeasureStageResult
+MeasureStage::run(const TuningContext<double> &, const FeatureStageResult &,
+                  FormatKind);
+extern template BindStageResult<float>
+BindStage::run(const TuningContext<float> &, FormatKind);
+extern template BindStageResult<double>
+BindStage::run(const TuningContext<double> &, FormatKind);
+
+} // namespace smat
+
+#endif // SMAT_CORE_TUNINGPIPELINE_H

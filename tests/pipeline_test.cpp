@@ -1,0 +1,462 @@
+//===- tests/pipeline_test.cpp - Staged pipeline, operators, plan cache ---===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "amg/AmgSolver.h"
+#include "core/FormatOperator.h"
+#include "core/PlanCache.h"
+#include "core/Smat.h"
+#include "core/Trainer.h"
+#include "core/TuningPipeline.h"
+#include "matrix/Generators.h"
+#include "ref/RefSpmv.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace smat;
+using namespace smat::test;
+
+namespace {
+
+TrainingOptions fastOptions() {
+  TrainingOptions Opts;
+  Opts.MeasureMinSeconds = 1e-4;
+  return Opts;
+}
+
+const LearningModel &sharedModel() {
+  static const LearningModel Model = [] {
+    auto Corpus = buildCorpus(CorpusScale::Tiny);
+    std::vector<const CorpusEntry *> Training, Evaluation;
+    splitCorpus(Corpus, Training, Evaluation);
+    return trainSmat<double>(Training, fastOptions()).Model;
+  }();
+  return Model;
+}
+
+const Smat<double> &sharedTuner() {
+  static const Smat<double> Tuner(sharedModel());
+  return Tuner;
+}
+
+} // namespace
+
+// --- FeatureStage -----------------------------------------------------------
+
+TEST(FeatureStageTest, Step1EagerPowerLawLazy) {
+  CsrMatrix<double> A = banded(800, 2);
+  TuneOptions Opts;
+  TuningContext<double> Ctx{A, sharedModel(), Opts, nullptr};
+
+  FeatureStageResult F = FeatureStage::run(Ctx);
+  EXPECT_DOUBLE_EQ(F.Features.M, 800);
+  EXPECT_DOUBLE_EQ(F.Features.N, 800);
+  EXPECT_FALSE(F.HaveR) << "step 2 (power-law R) must not run eagerly";
+  EXPECT_GE(F.Seconds, 0.0);
+
+  FeatureStage::ensurePowerLaw(Ctx, F);
+  EXPECT_TRUE(F.HaveR);
+  double R = F.Features.R;
+  FeatureStage::ensurePowerLaw(Ctx, F);
+  EXPECT_DOUBLE_EQ(F.Features.R, R) << "ensurePowerLaw must be idempotent";
+}
+
+// --- PredictStage -----------------------------------------------------------
+
+TEST(PredictStageTest, AgreesWithEndToEndTune) {
+  const Smat<double> &Tuner = sharedTuner();
+  TuneOptions NoMeasure;
+  NoMeasure.AllowMeasure = false;
+
+  for (const CsrMatrix<double> &A :
+       {banded(2000, 5), powerLawGraph(600, 2.0, 1, 60, 21)}) {
+    TuningContext<double> Ctx{A, Tuner.model(), NoMeasure, nullptr};
+    FeatureStageResult F = FeatureStage::run(Ctx);
+    PredictStageResult P = PredictStage::run(Ctx, F);
+
+    TunedSpmv<double> Op = Tuner.tune(A, NoMeasure);
+    EXPECT_EQ(Op.report().ModelPrediction, P.Prediction);
+    EXPECT_EQ(Op.report().ModelConfident, P.Confident);
+    EXPECT_DOUBLE_EQ(Op.report().ModelConfidence, P.Confidence);
+  }
+}
+
+// --- MeasureStage -----------------------------------------------------------
+
+TEST(MeasureStageTest, GateHonorsOptionsAndConfidence) {
+  TuneOptions Opts;
+  PredictStageResult Confident;
+  Confident.Confident = true;
+  PredictStageResult Unsure;
+
+  EXPECT_FALSE(MeasureStage::shouldRun(Opts, Confident));
+  EXPECT_TRUE(MeasureStage::shouldRun(Opts, Unsure));
+
+  Opts.AllowMeasure = false;
+  EXPECT_FALSE(MeasureStage::shouldRun(Opts, Unsure));
+
+  Opts.ForceMeasure = true;
+  EXPECT_TRUE(MeasureStage::shouldRun(Opts, Confident))
+      << "ForceMeasure overrides both confidence and AllowMeasure";
+}
+
+TEST(MeasureStageTest, MeasuresPlausibleCandidatesAndPicksMax) {
+  CsrMatrix<double> A = banded(1500, 2);
+  TuneOptions Opts;
+  Opts.MeasureMinSeconds = 1e-4;
+  TuningContext<double> Ctx{A, sharedModel(), Opts, nullptr};
+  FeatureStageResult F = FeatureStage::run(Ctx);
+
+  MeasureStageResult M = MeasureStage::run(Ctx, F, FormatKind::CSR);
+  EXPECT_GE(M.MeasuredGflops.size(), 2u)
+      << "CSR and COO are always measured; DIA/ELL are plausible on a band";
+  double BestGflops = -1.0;
+  FormatKind BestKind = FormatKind::CSR;
+  for (const auto &[Kind, Gflops] : M.MeasuredGflops) {
+    EXPECT_GT(Gflops, 0.0);
+    if (Gflops > BestGflops) {
+      BestGflops = Gflops;
+      BestKind = Kind;
+    }
+  }
+  EXPECT_EQ(M.Best, BestKind);
+  EXPECT_GT(M.Seconds, 0.0);
+}
+
+TEST(MeasureStageTest, FallbackReturnedWhenNothingPlausibleWins) {
+  // The fallback only matters when MeasuredGflops would be empty; with CSR
+  // always measured it never is, so Best must come from the measurements.
+  // A heavy-tailed graph: one 400-degree row spikes ELL's padding, and the
+  // scattered diagonals blow DIA's fill guard.
+  CsrMatrix<double> A = powerLawGraph(3000, 2.0, 1, 400, 3);
+  TuneOptions Opts;
+  Opts.MeasureMinSeconds = 1e-4;
+  TuningContext<double> Ctx{A, sharedModel(), Opts, nullptr};
+  FeatureStageResult F = FeatureStage::run(Ctx);
+  MeasureStageResult M = MeasureStage::run(Ctx, F, FormatKind::DIA);
+  for (const auto &[Kind, G] : M.MeasuredGflops) {
+    EXPECT_NE(Kind, FormatKind::DIA) << "DIA is implausible on a graph";
+    EXPECT_NE(Kind, FormatKind::ELL) << "ELL is implausible on a graph";
+  }
+  EXPECT_NE(M.Best, FormatKind::DIA);
+}
+
+// --- BindStage and FormatOperator -------------------------------------------
+
+TEST(BindStageTest, GuardRejectionFallsBackToCsr) {
+  CsrMatrix<double> A = powerLawGraph(800, 2.0, 1, 80, 5);
+  TuneOptions Opts;
+  TuningContext<double> Ctx{A, sharedModel(), Opts, nullptr};
+
+  BindStageResult<double> B = BindStage::run(Ctx, FormatKind::DIA);
+  ASSERT_TRUE(B.Op);
+  EXPECT_EQ(B.BoundFormat, FormatKind::CSR)
+      << "a DIA request must fall back to CSR when the fill guard rejects";
+  EXPECT_EQ(B.Op->kind(), FormatKind::CSR);
+  EXPECT_FALSE(B.Op->ownsStorage()) << "default CSR binding borrows";
+  EXPECT_FALSE(B.KernelName.empty());
+}
+
+TEST(FormatOperatorTest, AllFormatsMatchReferenceSpmv) {
+  // A band converts cleanly to every four-format representation; each bound
+  // operator must agree with the fixed-interface reference library.
+  CsrMatrix<double> A = banded(700, 3);
+  KernelSelection Sel; // Basic kernels everywhere.
+  auto X = randomVector<double>(static_cast<std::size_t>(A.NumCols), 11);
+  std::vector<double> Expected(static_cast<std::size_t>(A.NumRows));
+  refCsrSpmv(A, X.data(), Expected.data());
+
+  for (FormatKind Kind : {FormatKind::CSR, FormatKind::COO, FormatKind::DIA,
+                          FormatKind::ELL}) {
+    auto Op = bindFormatOperator(A, Kind, Sel);
+    ASSERT_TRUE(Op);
+    EXPECT_EQ(Op->kind(), Kind);
+    std::vector<double> Y(static_cast<std::size_t>(A.NumRows), -1.0);
+    Op->apply(X.data(), Y.data());
+    expectVectorsNear(Expected, Y, 1e-12);
+  }
+}
+
+TEST(FormatOperatorTest, OwnedCsrSurvivesSourceDestruction) {
+  KernelSelection Sel;
+  auto A = std::make_unique<CsrMatrix<double>>(banded(300, 1));
+  auto X = randomVector<double>(300, 13);
+  std::vector<double> Expected = denseSpmv(*A, X);
+
+  auto Owned = bindFormatOperator(*A, FormatKind::CSR, Sel, CsrStorage::Owned);
+  EXPECT_TRUE(Owned->ownsStorage());
+  A.reset();
+
+  std::vector<double> Y(300, -1.0);
+  Owned->apply(X.data(), Y.data());
+  expectVectorsNear(Expected, Y, 1e-12);
+}
+
+TEST(FormatOperatorTest, MoveSourceAvoidsCopyAndStaysCorrect) {
+  KernelSelection Sel;
+  CsrMatrix<double> Src = banded(300, 1);
+  auto X = randomVector<double>(300, 17);
+  std::vector<double> Expected = denseSpmv(Src, X);
+
+  auto Op =
+      bindFormatOperator(Src, FormatKind::CSR, Sel, CsrStorage::Owned, &Src);
+  // The operator took Src's storage; wiping the source must not affect it.
+  Src = banded(10, 1);
+  std::vector<double> Y(300, -1.0);
+  Op->apply(X.data(), Y.data());
+  expectVectorsNear(Expected, Y, 1e-12);
+}
+
+TEST(SmatRuntimeTest, OwnedModeAndRvalueTuneAreSelfContained) {
+  const Smat<double> &Tuner = sharedTuner();
+
+  // Lvalue tune with CsrMode = Owned: the operator must not reference A.
+  {
+    auto A = std::make_unique<CsrMatrix<double>>(randomCsr(300, 300, 0.02, 9));
+    auto X = randomVector<double>(300, 19);
+    std::vector<double> Expected = denseSpmv(*A, X);
+    TuneOptions Opts;
+    Opts.CsrMode = CsrStorage::Owned;
+    TunedSpmv<double> Op = Tuner.tune(*A, Opts);
+    EXPECT_TRUE(Op.ownsStorage());
+    A.reset();
+    std::vector<double> Y(300, -1.0);
+    Op.apply(X.data(), Y.data());
+    expectVectorsNear(Expected, Y, 1e-12);
+  }
+
+  // Rvalue tune: forces owned storage, moving when the bind lands on CSR.
+  {
+    CsrMatrix<double> A = randomCsr(300, 300, 0.02, 23);
+    auto X = randomVector<double>(300, 29);
+    std::vector<double> Expected = denseSpmv(A, X);
+    TunedSpmv<double> Op = Tuner.tune(std::move(A));
+    EXPECT_TRUE(Op.ownsStorage());
+    std::vector<double> Y(300, -1.0);
+    Op.apply(X.data(), Y.data());
+    expectVectorsNear(Expected, Y, 1e-12);
+  }
+
+  // Default mode on a CSR-bound matrix borrows (documented hazard).
+  {
+    CsrMatrix<double> A = powerLawGraph(400, 2.0, 1, 40, 31);
+    TunedSpmv<double> Op = Tuner.tune(A);
+    if (Op.format() == FormatKind::CSR)
+      EXPECT_FALSE(Op.ownsStorage());
+    else
+      EXPECT_TRUE(Op.ownsStorage());
+  }
+}
+
+// --- PlanCache --------------------------------------------------------------
+
+TEST(PlanCacheTest, HitMissInsertEvictLru) {
+  PlanCache Cache(2);
+  EXPECT_EQ(Cache.capacity(), 2u);
+
+  PlanFingerprint F1, F2, F3;
+  F1.RowsLog2 = 1;
+  F2.RowsLog2 = 2;
+  F3.RowsLog2 = 3;
+
+  CachedPlan Plan;
+  EXPECT_FALSE(Cache.lookup(F1, Plan));
+  Cache.insert(F1, {FormatKind::DIA, 0.5});
+  ASSERT_TRUE(Cache.lookup(F1, Plan));
+  EXPECT_EQ(Plan.Format, FormatKind::DIA);
+  EXPECT_DOUBLE_EQ(Plan.CsrSpmvSeconds, 0.5);
+
+  // F1 was just used; inserting F2 then F3 must evict F1's neighbour... not:
+  // LRU order is [F1], then [F2, F1], then F3 evicts the back (F1).
+  Cache.insert(F2, {FormatKind::ELL, 0.1});
+  Cache.insert(F3, {FormatKind::COO, 0.2});
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_FALSE(Cache.lookup(F1, Plan)) << "least recently used must go";
+  EXPECT_TRUE(Cache.lookup(F2, Plan));
+  EXPECT_TRUE(Cache.lookup(F3, Plan));
+
+  PlanCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Hits, 3u);
+  EXPECT_EQ(Stats.Misses, 2u);
+  EXPECT_EQ(Stats.Inserts, 3u);
+  EXPECT_EQ(Stats.Evictions, 1u);
+
+  // Overwriting an existing key is an insert, not an eviction.
+  Cache.insert(F2, {FormatKind::CSR, 0.3});
+  ASSERT_TRUE(Cache.lookup(F2, Plan));
+  EXPECT_EQ(Plan.Format, FormatKind::CSR);
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.stats().Hits, 4u) << "counters survive clear()";
+}
+
+TEST(PlanCacheTest, FingerprintGroupsEquivalentStructure) {
+  FeatureVector A = extractStructureFeatures(banded(1000, 2));
+  FeatureVector B = extractStructureFeatures(banded(1000, 2));
+  EXPECT_EQ(fingerprintFeatures(A), fingerprintFeatures(B));
+
+  // Same shape, same nnz scale, radically different structure.
+  FeatureVector C =
+      extractStructureFeatures(powerLawGraph(1000, 2.0, 1, 100, 3));
+  EXPECT_FALSE(fingerprintFeatures(A) == fingerprintFeatures(C));
+}
+
+TEST(SmatCacheTest, WarmTuneReusesPlanAndSkipsMeasurement) {
+  const Smat<double> &Tuner = sharedTuner();
+  PlanCache Cache;
+  TuneOptions Opts;
+  Opts.Cache = &Cache;
+  Opts.MeasureMinSeconds = 1e-4;
+
+  CsrMatrix<double> A = banded(1500, 3);
+  TunedSpmv<double> Cold = Tuner.tune(A, Opts);
+  EXPECT_FALSE(Cold.report().PlanCacheHit);
+
+  TunedSpmv<double> Warm = Tuner.tune(A, Opts);
+  EXPECT_TRUE(Warm.report().PlanCacheHit);
+  EXPECT_TRUE(Warm.report().MeasuredGflops.empty());
+  EXPECT_EQ(Warm.format(), Cold.format());
+  EXPECT_DOUBLE_EQ(Warm.report().CsrSpmvSeconds,
+                   Cold.report().CsrSpmvSeconds)
+      << "the cached baseline is reused verbatim";
+
+  PlanCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Misses, 1u);
+  EXPECT_EQ(Stats.Inserts, 1u);
+
+  // The warm operator is a real, correct operator, not a stale pointer.
+  auto X = randomVector<double>(1500, 37);
+  std::vector<double> Y(1500, -1.0);
+  Warm.apply(X.data(), Y.data());
+  expectVectorsNear(denseSpmv(A, X), Y, 1e-12);
+}
+
+TEST(SmatCacheTest, ForceMeasureBypassesLookupButStillInserts) {
+  const Smat<double> &Tuner = sharedTuner();
+  PlanCache Cache;
+  TuneOptions Opts;
+  Opts.Cache = &Cache;
+  Opts.MeasureMinSeconds = 1e-4;
+
+  CsrMatrix<double> A = banded(1200, 2);
+  (void)Tuner.tune(A, Opts); // Seed the cache.
+  std::uint64_t HitsBefore = Cache.stats().Hits;
+
+  TuneOptions Force = Opts;
+  Force.ForceMeasure = true;
+  TunedSpmv<double> Op = Tuner.tune(A, Force);
+  EXPECT_FALSE(Op.report().PlanCacheHit)
+      << "forced measurement must not consume a cached plan";
+  EXPECT_FALSE(Op.report().MeasuredGflops.empty());
+  EXPECT_EQ(Cache.stats().Hits, HitsBefore);
+  EXPECT_GE(Cache.stats().Inserts, 2u)
+      << "the fresh ground-truth plan refreshes the cache";
+}
+
+// --- Stage timing in the report ---------------------------------------------
+
+TEST(ReportTest, StageTimingsPopulatedAndConsistent) {
+  const Smat<double> &Tuner = sharedTuner();
+  CsrMatrix<double> A = banded(1500, 3);
+  TunedSpmv<double> Op = Tuner.tune(A);
+  const TuningReport &R = Op.report();
+
+  EXPECT_GT(R.TuneSeconds, 0.0);
+  EXPECT_GT(R.CsrSpmvSeconds, 0.0);
+  EXPECT_GT(R.FeatureSeconds, 0.0);
+  EXPECT_GE(R.PredictSeconds, 0.0);
+  EXPECT_GE(R.MeasureSeconds, 0.0);
+  EXPECT_GT(R.BindSeconds, 0.0);
+  double StageSum = R.FeatureSeconds + R.PredictSeconds + R.MeasureSeconds +
+                    R.BindSeconds;
+  EXPECT_LE(StageSum, R.TuneSeconds + 1e-3)
+      << "stages are sub-intervals of the tune wall clock";
+}
+
+// --- Model file loading ------------------------------------------------------
+
+TEST(SmatIoTest, FromFileErrorsCarryThePath) {
+  const std::string Bogus = testing::TempDir() + "/no_such_model_file.txt";
+
+  std::string Error;
+  auto Missing = Smat<double>::tryFromFile(Bogus, &Error);
+  EXPECT_FALSE(Missing.has_value());
+  EXPECT_NE(Error.find(Bogus), std::string::npos)
+      << "the failure message must name the offending file: " << Error;
+
+  try {
+    (void)Smat<double>::fromFile(Bogus);
+    FAIL() << "fromFile must throw on a missing file";
+  } catch (const std::runtime_error &E) {
+    EXPECT_NE(std::string(E.what()).find(Bogus), std::string::npos);
+  }
+
+  // The happy path still round-trips.
+  const std::string Good = testing::TempDir() + "/pipeline_model_ok.txt";
+  ASSERT_TRUE(saveModelFile(Good, sharedModel()));
+  auto Loaded = Smat<double>::tryFromFile(Good, &Error);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->model().Rules.size(), sharedModel().Rules.size());
+}
+
+// --- AMG client: one PlanCache across the hierarchy --------------------------
+
+TEST(AmgCacheTest, HierarchySharesOneCache) {
+  CsrMatrix<double> A = laplace2d5pt(40, 40);
+  const Smat<double> &Tuner = sharedTuner();
+
+  PlanCache Cache;
+  AmgOptions Opts;
+  Opts.Backend = SpmvBackendKind::Smat;
+  Opts.Tuner = &Tuner;
+  Opts.Cache = &Cache;
+
+  AmgSolver Solver;
+  Solver.setup(A, Opts);
+  EXPECT_EQ(Solver.planCache(), &Cache);
+
+  PlanCacheStats S1 = Cache.stats();
+  std::size_t NumOps = Solver.formatDecisions().size();
+  EXPECT_EQ(S1.Hits + S1.Misses, NumOps)
+      << "every tuned operator goes through the shared cache";
+  EXPECT_EQ(S1.Inserts, S1.Misses);
+
+  // A second setup over the same matrix re-tunes the same structures: every
+  // single lookup must now hit.
+  AmgSolver Solver2;
+  Solver2.setup(A, Opts);
+  PlanCacheStats S2 = Cache.stats();
+  EXPECT_EQ(S2.Hits, S1.Hits + NumOps);
+  EXPECT_EQ(S2.Misses, S1.Misses);
+
+  // Cache-tuned operators must still solve correctly.
+  auto XTrue = randomVector<double>(static_cast<std::size_t>(A.NumRows), 41);
+  std::vector<double> B = denseSpmv(A, XTrue);
+  std::vector<double> X;
+  SolveStats Stats = Solver2.solve(B, X);
+  ASSERT_TRUE(Stats.Converged) << "res " << Stats.RelResidual;
+  expectVectorsNear(XTrue, X, 1e-6);
+}
+
+TEST(AmgCacheTest, SolverOwnsFallbackCache) {
+  CsrMatrix<double> A = laplace2d5pt(30, 30);
+  AmgOptions Opts;
+  Opts.Backend = SpmvBackendKind::Smat;
+  Opts.Tuner = &sharedTuner();
+
+  AmgSolver Solver;
+  Solver.setup(A, Opts);
+  ASSERT_NE(Solver.planCache(), nullptr)
+      << "the Smat backend always tunes through a cache";
+  PlanCacheStats Stats = Solver.planCache()->stats();
+  EXPECT_EQ(Stats.Hits + Stats.Misses, Solver.formatDecisions().size());
+}
