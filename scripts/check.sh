@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+#===- scripts/check.sh - Tier-1 suite, default flags then sanitized -------===#
+#
+# Part of the SMAT reproduction project.
+#
+# Runs the tier-1 test suite twice: once with default flags and once with
+# SMAT_SANITIZE=ON (ASan + UBSan), so the malformed-input fuzz harness is
+# exercised both for observable behavior (errors, never crashes) and for
+# silent memory errors the sanitizers surface.
+#
+# Usage: scripts/check.sh [--fuzz-only]
+#   --fuzz-only   restrict both passes to the fuzz-labelled binaries
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CTEST_ARGS=(--output-on-failure -j "$(nproc)" -L tier1)
+if [[ "${1:-}" == "--fuzz-only" ]]; then
+  CTEST_ARGS=(--output-on-failure -j "$(nproc)" -L fuzz)
+fi
+
+run_pass() {
+  local build_dir="$1"
+  shift
+  echo "=== configure: ${build_dir} ($*) ==="
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== build: ${build_dir} ==="
+  cmake --build "${build_dir}" -j "$(nproc)"
+  echo "=== ctest: ${build_dir} ==="
+  (cd "${build_dir}" && ctest "${CTEST_ARGS[@]}")
+}
+
+run_pass build
+run_pass build-asan -DSMAT_SANITIZE=ON
+
+echo "=== check.sh: both passes green ==="

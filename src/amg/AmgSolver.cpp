@@ -7,10 +7,12 @@
 #include "amg/AmgSolver.h"
 
 #include "kernels/KernelRegistry.h"
+#include "matrix/Validate.h"
 #include "support/Timer.h"
 
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
 
 using namespace smat;
 
@@ -39,7 +41,28 @@ SpmvFn bindFixedCsr(const CsrMatrix<double> &A) {
 
 } // namespace
 
+Status AmgSolver::trySetup(const CsrMatrix<double> &A,
+                           const AmgOptions &Opts) {
+  if (Status S = validateCsr(A); !S.ok())
+    return S;
+  if (A.NumRows != A.NumCols)
+    return Status::error(ErrorCode::InvalidMatrix,
+                         formatString("AMG requires a square operator, got "
+                                      "%d x %d",
+                                      A.NumRows, A.NumCols));
+  if (Opts.Backend == SpmvBackendKind::Smat && !Opts.Tuner)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "AmgOptions: the Smat backend requires a tuner");
+  setupImpl(A, Opts);
+  return Status::success();
+}
+
 void AmgSolver::setup(const CsrMatrix<double> &A, const AmgOptions &Opts) {
+  if (Status S = trySetup(A, Opts); !S.ok())
+    throw std::invalid_argument("AMG setup rejected input: " + S.message());
+}
+
+void AmgSolver::setupImpl(const CsrMatrix<double> &A, const AmgOptions &Opts) {
   WallTimer Timer;
   Options = Opts;
   Hier.build(A, Opts.Hierarchy);

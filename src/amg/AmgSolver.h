@@ -75,8 +75,15 @@ struct LevelFormatInfo {
 /// preconditioner through solvePcg).
 class AmgSolver {
 public:
-  /// Builds the hierarchy from \p A and binds the SpMV backend.
+  /// Builds the hierarchy from \p A and binds the SpMV backend. \p A is
+  /// validated up front (the solver is a trust boundary like Smat::tune);
+  /// malformed input throws std::invalid_argument with the diagnostic.
   void setup(const CsrMatrix<double> &A, const AmgOptions &Opts);
+
+  /// Non-throwing setup: \returns the violated invariant (structurally
+  /// invalid or non-square \p A, Smat backend without a tuner) instead of
+  /// throwing. The solver is left untouched on failure.
+  Status trySetup(const CsrMatrix<double> &A, const AmgOptions &Opts);
 
   /// Stationary V-cycle iteration on A*X = B until RelTol or MaxIterations.
   /// \p X is both the initial guess and the result.
@@ -111,6 +118,9 @@ private:
     // Work vectors sized for this level.
     mutable std::vector<double> X, B, Scratch;
   };
+
+  /// The build behind the validated boundary; assumes well-formed input.
+  void setupImpl(const CsrMatrix<double> &A, const AmgOptions &Opts);
 
   void runVcycle(std::size_t L, const double *B, double *X) const;
 

@@ -176,8 +176,16 @@ bindFormatOperator(const CsrMatrix<T> &A, FormatKind Requested,
 
   switch (Requested) {
   case FormatKind::COO: {
-    const auto &K = Kernels.Coo[Best(FormatKind::COO)];
-    return std::make_unique<CooOperator<T>>(csrToCoo(A), K.Fn, K.Name);
+    CooMatrix<T> Coo = csrToCoo(A);
+    // Honor the kernel's declared structural precondition: if the selected
+    // implementation demands monotone rows the converted matrix lacks (it
+    // never does for csrToCoo output, but the registration is the contract),
+    // bind the precondition-free basic kernel instead.
+    std::size_t Idx = Best(FormatKind::COO);
+    if (!kernelPrecondsHold(Kernels.Coo[Idx].Preconds, Coo))
+      Idx = 0;
+    const auto &K = Kernels.Coo[Idx];
+    return std::make_unique<CooOperator<T>>(std::move(Coo), K.Fn, K.Name);
   }
   case FormatKind::DIA: {
     DiaMatrix<T> Dia;

@@ -8,6 +8,7 @@
 
 #include "support/Timer.h"
 
+#include <cmath>
 #include <stdexcept>
 
 using namespace smat;
@@ -35,13 +36,49 @@ std::optional<Smat<T>> Smat<T>::tryFromFile(const std::string &Path,
 }
 
 template <typename T>
+Status Smat<T>::validateTuneInput(const CsrMatrix<T> &A,
+                                  const TuneOptions &Opts) {
+  if (Status S = validateCsr(A); !S.ok())
+    return S;
+  if (!(Opts.MeasureMinSeconds >= 0.0) ||
+      !std::isfinite(Opts.MeasureMinSeconds))
+    return Status::error(
+        ErrorCode::InvalidArgument,
+        formatString("TuneOptions: MeasureMinSeconds must be finite and "
+                     "non-negative (got %g)",
+                     Opts.MeasureMinSeconds));
+  return Status::success();
+}
+
+template <typename T>
 TunedSpmv<T> Smat<T>::tune(const CsrMatrix<T> &A,
                            const TuneOptions &Opts) const {
+  if (Status S = validateTuneInput(A, Opts); !S.ok())
+    throw std::invalid_argument("SMAT tune rejected input: " + S.message());
   return tuneImpl(A, Opts, nullptr);
 }
 
 template <typename T>
 TunedSpmv<T> Smat<T>::tune(CsrMatrix<T> &&A, TuneOptions Opts) const {
+  if (Status S = validateTuneInput(A, Opts); !S.ok())
+    throw std::invalid_argument("SMAT tune rejected input: " + S.message());
+  Opts.CsrMode = CsrStorage::Owned;
+  return tuneImpl(A, Opts, &A);
+}
+
+template <typename T>
+Expected<TunedSpmv<T>> Smat<T>::tryTune(const CsrMatrix<T> &A,
+                                        const TuneOptions &Opts) const {
+  if (Status S = validateTuneInput(A, Opts); !S.ok())
+    return S;
+  return tuneImpl(A, Opts, nullptr);
+}
+
+template <typename T>
+Expected<TunedSpmv<T>> Smat<T>::tryTune(CsrMatrix<T> &&A,
+                                        TuneOptions Opts) const {
+  if (Status S = validateTuneInput(A, Opts); !S.ok())
+    return S;
   Opts.CsrMode = CsrStorage::Owned;
   return tuneImpl(A, Opts, &A);
 }
@@ -49,7 +86,9 @@ TunedSpmv<T> Smat<T>::tune(CsrMatrix<T> &&A, TuneOptions Opts) const {
 template <typename T>
 TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
                                CsrMatrix<T> *MoveSource) const {
-  assert(A.isValid() && "tune() requires a structurally valid CSR matrix");
+  // Every public entry point has already run validateTuneInput; interior
+  // stages assume a well-formed matrix from here on.
+  assert(A.isValid() && "tuneImpl behind an unvalidated boundary");
   WallTimer TuneTimer;
 
   TunedSpmv<T> Op;
@@ -145,6 +184,40 @@ TunedSpmv<float> smat::SMAT_sCSR_SpMV(const Smat<float> &Tuner,
                                       const CsrMatrix<float> &A,
                                       const TuneOptions &Opts) {
   return Tuner.tune(A, Opts);
+}
+
+namespace {
+
+template <typename T>
+ErrorCode trySpmvEntry(const Smat<T> &Tuner, const CsrMatrix<T> &A,
+                       TunedSpmv<T> &Out, std::string *ErrorMessage,
+                       const TuneOptions &Opts) {
+  Expected<TunedSpmv<T>> Result = Tuner.tryTune(A, Opts);
+  if (!Result.ok()) {
+    if (ErrorMessage)
+      *ErrorMessage = Result.status().message();
+    return Result.status().code();
+  }
+  Out = std::move(*Result);
+  return ErrorCode::Ok;
+}
+
+} // namespace
+
+ErrorCode smat::SMAT_dCSR_SpMV_try(const Smat<double> &Tuner,
+                                   const CsrMatrix<double> &A,
+                                   TunedSpmv<double> &Out,
+                                   std::string *ErrorMessage,
+                                   const TuneOptions &Opts) {
+  return trySpmvEntry(Tuner, A, Out, ErrorMessage, Opts);
+}
+
+ErrorCode smat::SMAT_sCSR_SpMV_try(const Smat<float> &Tuner,
+                                   const CsrMatrix<float> &A,
+                                   TunedSpmv<float> &Out,
+                                   std::string *ErrorMessage,
+                                   const TuneOptions &Opts) {
+  return trySpmvEntry(Tuner, A, Out, ErrorMessage, Opts);
 }
 
 namespace smat {

@@ -40,6 +40,8 @@
 #include "core/PlanCache.h"
 #include "core/TuningPipeline.h"
 #include "matrix/FormatConvert.h"
+#include "matrix/Validate.h"
+#include "support/Status.h"
 
 #include <cassert>
 #include <memory>
@@ -158,7 +160,9 @@ public:
 
   /// Tunes SpMV for \p A: the staged pipeline of paper Figure 7. With the
   /// default `CsrStorage::Borrowed`, \p A must outlive the returned operator
-  /// (see TunedSpmv).
+  /// (see TunedSpmv). \p A is validated up front; a structurally invalid
+  /// matrix throws std::invalid_argument carrying the diagnostic (which row,
+  /// which invariant). Callers that must not throw use tryTune.
   TunedSpmv<T> tune(const CsrMatrix<T> &A,
                     const TuneOptions &Opts = TuneOptions()) const;
 
@@ -167,7 +171,22 @@ public:
   TunedSpmv<T> tune(CsrMatrix<T> &&A,
                     TuneOptions Opts = TuneOptions()) const;
 
+  /// Non-throwing tune: validates \p A and \p Opts and returns either the
+  /// tuned operator or the Status naming the violated invariant. A failed
+  /// tryTune leaves every side channel untouched — in particular it never
+  /// inserts a plan into Opts.Cache.
+  Expected<TunedSpmv<T>> tryTune(const CsrMatrix<T> &A,
+                                 const TuneOptions &Opts = TuneOptions()) const;
+
+  /// Non-throwing rvalue tune; consumes \p A only on success.
+  Expected<TunedSpmv<T>> tryTune(CsrMatrix<T> &&A,
+                                 TuneOptions Opts = TuneOptions()) const;
+
 private:
+  /// Validation shared by every public entry point (matrix and options).
+  static Status validateTuneInput(const CsrMatrix<T> &A,
+                                  const TuneOptions &Opts);
+
   TunedSpmv<T> tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
                         CsrMatrix<T> *MoveSource) const;
 
@@ -182,12 +201,28 @@ extern template class Smat<double>;
 /// The paper's unified C-style interface (Figure 5): one call, CSR in,
 /// tuned SpMV out. 'd'/'s' select double/single precision. The optional
 /// \p Opts carries the production knobs (plan cache, CSR ownership).
+/// Malformed input throws std::invalid_argument with the diagnostic; the
+/// _try variants below report the same failures as error codes instead.
 TunedSpmv<double> SMAT_dCSR_SpMV(const Smat<double> &Tuner,
                                  const CsrMatrix<double> &A,
                                  const TuneOptions &Opts = TuneOptions());
 TunedSpmv<float> SMAT_sCSR_SpMV(const Smat<float> &Tuner,
                                 const CsrMatrix<float> &A,
                                 const TuneOptions &Opts = TuneOptions());
+
+/// Error-code variants of the unified interface for callers that cannot
+/// unwind: validates \p A, fills \p Out on success, and \returns
+/// ErrorCode::Ok — or the failure code, with the full diagnostic copied to
+/// \p ErrorMessage when non-null. \p Out is untouched on failure.
+ErrorCode SMAT_dCSR_SpMV_try(const Smat<double> &Tuner,
+                             const CsrMatrix<double> &A,
+                             TunedSpmv<double> &Out,
+                             std::string *ErrorMessage = nullptr,
+                             const TuneOptions &Opts = TuneOptions());
+ErrorCode SMAT_sCSR_SpMV_try(const Smat<float> &Tuner,
+                             const CsrMatrix<float> &A, TunedSpmv<float> &Out,
+                             std::string *ErrorMessage = nullptr,
+                             const TuneOptions &Opts = TuneOptions());
 
 } // namespace smat
 

@@ -137,8 +137,13 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
   });
   {
     CooMatrix<T> Coo = csrToCoo(A);
+    // Respect declared kernel preconditions (csrToCoo output always has
+    // monotone rows, but the registration is the contract, not the builder).
+    std::size_t CooIdx = BestIdx(FormatKind::COO);
+    if (!kernelPrecondsHold(Kernels.Coo[CooIdx].Preconds, Coo))
+      CooIdx = 0;
     Consider(FormatKind::COO, [&] {
-      Kernels.Coo[BestIdx(FormatKind::COO)].Fn(Coo, X.data(), Y.data());
+      Kernels.Coo[CooIdx].Fn(Coo, X.data(), Y.data());
     });
   }
   if (diaPlausible(Features.Features)) {

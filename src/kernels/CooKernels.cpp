@@ -102,7 +102,9 @@ void cooPrefetch(const CooMatrix<T> &A, const T *SMAT_RESTRICT X,
 
 /// Splits the nonzero stream into per-thread chunks whose boundaries are
 /// snapped to row transitions, so every thread writes a disjoint Y range.
-/// Requires row-major sorted input (asserted).
+/// Requires monotone row indices (declared as PrecondMonotoneRows at
+/// registration; the binding layer falls back to the basic kernel when the
+/// input does not satisfy it).
 template <typename T>
 void cooOmpRowSplit(const CooMatrix<T> &A, const T *SMAT_RESTRICT X,
                     T *SMAT_RESTRICT Y) {
@@ -140,7 +142,8 @@ std::vector<smat::Kernel<smat::CooKernelFn<T>>> smat::makeCooKernels() {
       {"coo_unroll4", OptUnroll, &cooUnroll4<T>},
       {"coo_segmented", OptBranchFree, &cooSegmented<T>},
       {"coo_prefetch", OptPrefetch, &cooPrefetch<T>},
-      {"coo_omp_rowsplit", OptThreads, &cooOmpRowSplit<T>},
+      {"coo_omp_rowsplit", OptThreads, &cooOmpRowSplit<T>,
+       PrecondMonotoneRows},
   };
 }
 

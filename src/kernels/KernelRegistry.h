@@ -46,6 +46,31 @@ enum OptStrategy : unsigned {
 /// Number of distinct strategy bits above.
 inline constexpr unsigned NumOptStrategies = 7;
 
+/// Structural preconditions a kernel demands of its input beyond the
+/// format's base invariants. Declared at registration so the binding layer
+/// (and the scoreboard) can check them instead of trusting an assert.
+enum KernelPrecond : unsigned {
+  PrecondNone = 0,
+  /// Row indices must be non-decreasing (COO row-split threading relies on
+  /// binary search over Rows and disjoint per-thread output slices).
+  PrecondMonotoneRows = 1u << 0,
+};
+
+/// Whether \p A satisfies the precondition set \p Preconds. The generic
+/// overload accepts everything; formats with declared preconditions
+/// specialize.
+template <typename MatrixT>
+inline bool kernelPrecondsHold(unsigned Preconds, const MatrixT &) {
+  return Preconds == PrecondNone;
+}
+
+template <typename T>
+inline bool kernelPrecondsHold(unsigned Preconds, const CooMatrix<T> &A) {
+  if (Preconds & PrecondMonotoneRows)
+    return A.hasMonotoneRows();
+  return true;
+}
+
 /// \returns a short name for strategy bit \p Bit (0-based).
 const char *optStrategyName(unsigned Bit);
 
@@ -63,11 +88,13 @@ using EllKernelFn = void (*)(const EllMatrix<T> &, const T *, T *);
 template <typename T>
 using BsrKernelFn = void (*)(const BsrMatrix<T> &, const T *, T *);
 
-/// One kernel-library entry: an implementation plus its strategy tag set.
+/// One kernel-library entry: an implementation plus its strategy tag set
+/// and any structural preconditions it demands of the input.
 template <typename FnT> struct Kernel {
   const char *Name;
   unsigned Flags;
   FnT Fn;
+  unsigned Preconds = PrecondNone;
 };
 
 /// Builders defined by the per-format kernel translation units. Index 0 is

@@ -68,6 +68,13 @@ measureKernelTable(const std::vector<Kernel<FnT>> &Kernels, const MatrixT &A,
   std::vector<KernelMeasurement> Table;
   Table.reserve(Kernels.size());
   for (const Kernel<FnT> &K : Kernels) {
+    // A kernel whose declared precondition the probe violates is never run:
+    // it is recorded at zero GFLOPS (indices must stay aligned with the
+    // kernel list) so the scoreboard cannot select it for this input.
+    if (!kernelPrecondsHold(K.Preconds, A)) {
+      Table.push_back({K.Name, K.Flags, 0.0});
+      continue;
+    }
     double Seconds = measureSecondsPerCall(
         [&] { K.Fn(A, X.data(), Y.data()); }, MinSeconds);
     Table.push_back({K.Name, K.Flags,

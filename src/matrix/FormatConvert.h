@@ -21,6 +21,7 @@
 #include "matrix/CsrMatrix.h"
 #include "matrix/DiaMatrix.h"
 #include "matrix/EllMatrix.h"
+#include "matrix/Validate.h"
 
 #include <algorithm>
 #include <limits>
@@ -34,6 +35,13 @@ namespace smat {
 /// DefaultMaxDiags diagonals.
 inline constexpr double DefaultMaxFillRatio = 20.0;
 inline constexpr index_t DefaultMaxDiags = 1024;
+
+/// Absolute ceiling on the padded element count any conversion may
+/// allocate, applied even when the relative fill guards are disabled: a
+/// hostile structure whose Ndiags*M (or Width*M, or Blocks*b^2) product
+/// explodes must be rejected — the runtime then binds as CSR — instead of
+/// attempting a multi-terabyte allocation.
+inline constexpr std::int64_t MaxConvertedElements = std::int64_t(1) << 31;
 
 /// Builds a CSR matrix from (possibly unsorted, possibly duplicated)
 /// triplets. Duplicate coordinates are summed, matching MatrixMarket
@@ -76,8 +84,11 @@ CsrMatrix<T> csrFromTriplets(index_t NumRows, index_t NumCols,
   return M;
 }
 
-/// CSR -> COO; entries come out in row-major order.
+/// CSR -> COO; entries come out with monotone (non-decreasing) row indices
+/// by construction, so the threaded COO kernels' row-split precondition
+/// holds for every COO matrix this function produces.
 template <typename T> CooMatrix<T> csrToCoo(const CsrMatrix<T> &A) {
+  assert(A.isValid() && "csrToCoo requires a structurally valid CSR matrix");
   CooMatrix<T> B;
   B.NumRows = A.NumRows;
   B.NumCols = A.NumCols;
@@ -91,12 +102,62 @@ template <typename T> CooMatrix<T> csrToCoo(const CsrMatrix<T> &A) {
   return B;
 }
 
-/// COO -> CSR; sorts and sums duplicates.
+/// COO -> CSR; sorts and sums duplicates. Precondition: \p A is valid
+/// (asserted); untrusted COO goes through tryCooToCsr.
 template <typename T> CsrMatrix<T> cooToCsr(const CooMatrix<T> &A) {
+  assert(A.isValid() && "cooToCsr requires a structurally valid COO matrix");
   return csrFromTriplets<T>(
       A.NumRows, A.NumCols, std::vector<index_t>(A.Rows.begin(), A.Rows.end()),
       std::vector<index_t>(A.Cols.begin(), A.Cols.end()),
       std::vector<T>(A.Values.begin(), A.Values.end()));
+}
+
+/// Validating COO -> CSR for untrusted input: \returns the converted matrix,
+/// or the diagnostic naming the violated COO invariant.
+template <typename T> Expected<CsrMatrix<T>> tryCooToCsr(const CooMatrix<T> &A) {
+  if (Status S = validateCoo(A); !S.ok())
+    return S;
+  return cooToCsr(A);
+}
+
+/// Validating triplet builder for untrusted input: \returns the CSR matrix,
+/// or the diagnostic naming the offending triplet.
+template <typename T>
+Expected<CsrMatrix<T>>
+tryCsrFromTriplets(index_t NumRows, index_t NumCols, std::vector<index_t> Rows,
+                   std::vector<index_t> Cols, std::vector<T> Vals) {
+  if (Status S = validateTriplets(NumRows, NumCols, Rows, Cols, Vals); !S.ok())
+    return S;
+  return csrFromTriplets<T>(NumRows, NumCols, std::move(Rows), std::move(Cols),
+                            std::move(Vals));
+}
+
+/// Sorts \p A into canonical row-major order in place (stable within equal
+/// coordinates). Establishes the threaded kernels' precondition for COO that
+/// arrived from outside the library's own builders.
+template <typename T> void sortCooRowMajor(CooMatrix<T> &A) {
+  if (A.isSortedRowMajor())
+    return;
+  std::vector<std::size_t> Order(A.Values.size());
+  std::iota(Order.begin(), Order.end(), std::size_t{0});
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&A](std::size_t I, std::size_t J) {
+                     if (A.Rows[I] != A.Rows[J])
+                       return A.Rows[I] < A.Rows[J];
+                     return A.Cols[I] < A.Cols[J];
+                   });
+  CooMatrix<T> Sorted;
+  Sorted.NumRows = A.NumRows;
+  Sorted.NumCols = A.NumCols;
+  Sorted.Rows.reserve(Order.size());
+  Sorted.Cols.reserve(Order.size());
+  Sorted.Values.reserve(Order.size());
+  for (std::size_t K : Order) {
+    Sorted.Rows.push_back(A.Rows[K]);
+    Sorted.Cols.push_back(A.Cols[K]);
+    Sorted.Values.push_back(A.Values[K]);
+  }
+  A = std::move(Sorted);
 }
 
 /// CSR -> DIA.
@@ -110,6 +171,8 @@ template <typename T>
 bool csrToDia(const CsrMatrix<T> &A, DiaMatrix<T> &B,
               double MaxFillRatio = DefaultMaxFillRatio,
               index_t MaxDiags = DefaultMaxDiags) {
+  if (!A.isValid())
+    return false;
   // Mark the occupied diagonals. Offset index Col - Row + (NumRows - 1) is in
   // [0, NumRows + NumCols - 2].
   std::vector<char> Occupied(
@@ -122,6 +185,8 @@ bool csrToDia(const CsrMatrix<T> &A, DiaMatrix<T> &B,
   for (char Flag : Occupied)
     NumDiags += Flag;
   if (MaxDiags > 0 && NumDiags > MaxDiags)
+    return false;
+  if (static_cast<std::int64_t>(NumDiags) * A.NumRows > MaxConvertedElements)
     return false;
   double Stored = static_cast<double>(NumDiags) * A.NumRows;
   if (MaxFillRatio > 0 && A.nnz() > 0 &&
@@ -161,9 +226,13 @@ bool csrToDia(const CsrMatrix<T> &A, DiaMatrix<T> &B,
 template <typename T>
 bool csrToEll(const CsrMatrix<T> &A, EllMatrix<T> &B,
               double MaxFillRatio = DefaultMaxFillRatio) {
+  if (!A.isValid())
+    return false;
   index_t Width = 0;
   for (index_t Row = 0; Row < A.NumRows; ++Row)
     Width = std::max(Width, A.rowDegree(Row));
+  if (static_cast<std::int64_t>(Width) * A.NumRows > MaxConvertedElements)
+    return false;
   double Stored = static_cast<double>(Width) * A.NumRows;
   if (MaxFillRatio > 0 && A.nnz() > 0 &&
       Stored > MaxFillRatio * static_cast<double>(A.nnz()))
@@ -291,8 +360,13 @@ index_t chooseBsrBlockSize(const CsrMatrix<T> &A,
 template <typename T>
 bool csrToBsr(const CsrMatrix<T> &A, BsrMatrix<T> &B, index_t BlockSize,
               double MaxFillRatio = 1.5) {
-  assert(BlockSize >= 1 && "block size must be positive");
+  if (BlockSize < 1 || !A.isValid())
+    return false;
   std::int64_t Blocks = countOccupiedBlocks(A, BlockSize);
+  std::int64_t BlockElems = static_cast<std::int64_t>(BlockSize) * BlockSize;
+  if (BlockElems > MaxConvertedElements ||
+      Blocks > MaxConvertedElements / BlockElems)
+    return false;
   double Stored = static_cast<double>(Blocks) *
                   static_cast<double>(BlockSize) *
                   static_cast<double>(BlockSize);

@@ -21,10 +21,18 @@ namespace {
 enum class FieldKind { Real, Integer, Pattern };
 enum class SymmetryKind { General, Symmetric, SkewSymmetric };
 
-MatrixMarketResult fail(const std::string &Why) {
+MatrixMarketResult fail(ErrorCode Code, const std::string &Why) {
   MatrixMarketResult R;
+  R.Code = Code;
   R.Error = Why;
   return R;
+}
+
+/// Parse failure anchored to a 1-based input line (the reader is a trust
+/// boundary; diagnostics must let the operator find the broken line).
+MatrixMarketResult failAt(long long LineNo, const std::string &Why) {
+  return fail(ErrorCode::ParseError,
+              formatString("line %lld: ", LineNo) + Why);
 }
 
 } // namespace
@@ -32,16 +40,23 @@ MatrixMarketResult fail(const std::string &Why) {
 MatrixMarketResult smat::readMatrixMarketString(const std::string &Text) {
   std::istringstream In(Text);
   std::string Line;
+  long long LineNo = 0;
+  auto NextLine = [&]() -> bool {
+    if (!std::getline(In, Line))
+      return false;
+    ++LineNo;
+    return true;
+  };
 
-  if (!std::getline(In, Line))
-    return fail("empty input");
+  if (!NextLine())
+    return fail(ErrorCode::ParseError, "empty input");
   auto Banner = splitWhitespace(Line);
   if (Banner.size() < 5 || !startsWith(Banner[0], "%%MatrixMarket"))
-    return fail("missing %%MatrixMarket banner");
+    return failAt(LineNo, "missing %%MatrixMarket banner");
   if (!equalsIgnoreCase(Banner[1], "matrix"))
-    return fail("only 'matrix' objects are supported");
+    return failAt(LineNo, "only 'matrix' objects are supported");
   if (!equalsIgnoreCase(Banner[2], "coordinate"))
-    return fail("only 'coordinate' (sparse) layout is supported");
+    return failAt(LineNo, "only 'coordinate' (sparse) layout is supported");
 
   FieldKind Field;
   if (equalsIgnoreCase(Banner[3], "real"))
@@ -51,8 +66,9 @@ MatrixMarketResult smat::readMatrixMarketString(const std::string &Text) {
   else if (equalsIgnoreCase(Banner[3], "pattern"))
     Field = FieldKind::Pattern;
   else
-    return fail("unsupported field '" + Banner[3] +
-                "' (complex matrices are excluded, as in the paper)");
+    return failAt(LineNo,
+                  "unsupported field '" + Banner[3] +
+                      "' (complex matrices are excluded, as in the paper)");
 
   SymmetryKind Symmetry;
   if (equalsIgnoreCase(Banner[4], "general"))
@@ -62,25 +78,46 @@ MatrixMarketResult smat::readMatrixMarketString(const std::string &Text) {
   else if (equalsIgnoreCase(Banner[4], "skew-symmetric"))
     Symmetry = SymmetryKind::SkewSymmetric;
   else
-    return fail("unsupported symmetry '" + Banner[4] + "'");
+    return failAt(LineNo, "unsupported symmetry '" + Banner[4] + "'");
 
   // Skip comments and blank lines, then read the size line.
   long long NumRows = -1, NumCols = -1, NumEntries = -1;
-  while (std::getline(In, Line)) {
+  bool SawSizeLine = false;
+  while (NextLine()) {
     std::string_view Trimmed = trim(Line);
     if (Trimmed.empty() || Trimmed[0] == '%')
       continue;
     if (std::sscanf(std::string(Trimmed).c_str(), "%lld %lld %lld", &NumRows,
                     &NumCols, &NumEntries) != 3)
-      return fail("malformed size line: '" + std::string(Trimmed) + "'");
+      return failAt(LineNo,
+                    "malformed size line: '" + std::string(Trimmed) + "'");
+    SawSizeLine = true;
     break;
   }
-  if (NumRows < 0 || NumCols < 0 || NumEntries < 0)
-    return fail("missing size line");
+  if (!SawSizeLine)
+    return fail(ErrorCode::ParseError, "missing size line");
+  if (NumRows < 0 || NumCols < 0)
+    return failAt(LineNo, formatString("negative matrix dimension (%lld x "
+                                       "%lld)",
+                                       NumRows, NumCols));
+  if (NumEntries < 0)
+    return failAt(LineNo,
+                  formatString("negative entry count (%lld)", NumEntries));
   if (NumRows > (1LL << 31) - 2 || NumCols > (1LL << 31) - 2)
-    return fail("matrix dimensions exceed 32-bit index range");
+    return failAt(LineNo, "matrix dimensions exceed 32-bit index range");
   if (NumEntries > NumRows * NumCols)
-    return fail("entry count exceeds matrix capacity");
+    return failAt(LineNo,
+                  formatString("entry count %lld exceeds matrix capacity "
+                               "%lld x %lld",
+                               NumEntries, NumRows, NumCols));
+  if (Symmetry != SymmetryKind::General && NumRows != NumCols)
+    return failAt(LineNo,
+                  formatString("%s symmetry requires a square matrix, got "
+                               "%lld x %lld",
+                               Symmetry == SymmetryKind::Symmetric
+                                   ? "symmetric"
+                                   : "skew-symmetric",
+                               NumRows, NumCols));
 
   std::vector<index_t> Rows, Cols;
   std::vector<double> Vals;
@@ -93,7 +130,7 @@ MatrixMarketResult smat::readMatrixMarketString(const std::string &Text) {
   Vals.reserve(Reserve);
 
   long long Seen = 0;
-  while (Seen < NumEntries && std::getline(In, Line)) {
+  while (Seen < NumEntries && NextLine()) {
     std::string_view Trimmed = trim(Line);
     if (Trimmed.empty() || Trimmed[0] == '%')
       continue;
@@ -107,9 +144,9 @@ MatrixMarketResult smat::readMatrixMarketString(const std::string &Text) {
       Matched = std::sscanf(Owned.c_str(), "%lld %lld %lf", &Row, &Col, &Val);
     int Expected = Field == FieldKind::Pattern ? 2 : 3;
     if (Matched != Expected)
-      return fail("malformed entry line: '" + Owned + "'");
+      return failAt(LineNo, "malformed entry line: '" + Owned + "'");
     if (Row < 1 || Row > NumRows || Col < 1 || Col > NumCols)
-      return fail("entry index out of range: '" + Owned + "'");
+      return failAt(LineNo, "entry index out of range: '" + Owned + "'");
     ++Seen;
 
     index_t R = static_cast<index_t>(Row - 1);
@@ -124,20 +161,45 @@ MatrixMarketResult smat::readMatrixMarketString(const std::string &Text) {
     }
   }
   if (Seen != NumEntries)
-    return fail("file ended before all entries were read");
+    return failAt(LineNo,
+                  formatString("file ended after %lld of %lld entries", Seen,
+                               NumEntries));
+  // Anything but comments and blank lines after the declared entries means
+  // the size line undercounts the file.
+  while (NextLine()) {
+    std::string_view Trimmed = trim(Line);
+    if (!Trimmed.empty() && Trimmed[0] != '%')
+      return failAt(LineNo, formatString("trailing data after the declared "
+                                         "%lld entries",
+                                         NumEntries));
+  }
+  // The capacity check above ran before mirroring; symmetric/skew files
+  // whose off-diagonal entries were mirrored can only exceed capacity now if
+  // the file stored duplicates of both triangles.
+  long long Mirrored = static_cast<long long>(Rows.size());
+  if (Mirrored > NumRows * NumCols)
+    return fail(ErrorCode::ParseError,
+                formatString("symmetric mirroring produced %lld entries, "
+                             "exceeding matrix capacity %lld x %lld",
+                             Mirrored, NumRows, NumCols));
+
+  Expected<CsrMatrix<double>> Built = tryCsrFromTriplets<double>(
+      static_cast<index_t>(NumRows), static_cast<index_t>(NumCols),
+      std::move(Rows), std::move(Cols), std::move(Vals));
+  if (!Built.ok())
+    return fail(Built.status().code(), Built.status().message());
 
   MatrixMarketResult Result;
   Result.Ok = true;
-  Result.Matrix = csrFromTriplets<double>(
-      static_cast<index_t>(NumRows), static_cast<index_t>(NumCols),
-      std::move(Rows), std::move(Cols), std::move(Vals));
+  Result.Matrix = std::move(*Built);
   return Result;
 }
 
 MatrixMarketResult smat::readMatrixMarketFile(const std::string &Path) {
   std::ifstream In(Path, std::ios::binary);
   if (!In)
-    return fail("cannot open file '" + Path + "'");
+    return fail(ErrorCode::InvalidArgument,
+                "cannot open file '" + Path + "'");
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
   return readMatrixMarketString(Buffer.str());

@@ -17,15 +17,18 @@
 #define SMAT_MATRIX_MATRIXMARKET_H
 
 #include "matrix/CsrMatrix.h"
+#include "support/Status.h"
 
 #include <string>
 
 namespace smat {
 
-/// Result of a MatrixMarket read.
+/// Result of a MatrixMarket read. Parse failures carry the 1-based line
+/// number of the offending input line in the Error text.
 struct MatrixMarketResult {
   bool Ok = false;
-  std::string Error;       ///< Human-readable reason when !Ok.
+  ErrorCode Code = ErrorCode::Ok; ///< Failure classification when !Ok.
+  std::string Error;              ///< Human-readable reason when !Ok.
   CsrMatrix<double> Matrix;
 };
 

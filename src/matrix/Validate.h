@@ -1,0 +1,129 @@
+//===- matrix/Validate.h - Trust-boundary structure validation --*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Full O(nnz) structural validation for the sparse containers, with
+/// diagnostics naming the violated invariant and the offending row/entry.
+/// These checks run once at every trust boundary (tune, the C entry points,
+/// format conversion, AMG setup, MatrixMarket ingestion); interior code then
+/// assumes validated input and keeps only debug `assert`s. The boolean
+/// `isValid()` members remain as the cheap yes/no form; these functions are
+/// the diagnostic form the error path reports to callers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_MATRIX_VALIDATE_H
+#define SMAT_MATRIX_VALIDATE_H
+
+#include "matrix/CooMatrix.h"
+#include "matrix/CsrMatrix.h"
+#include "support/Status.h"
+#include "support/Str.h"
+
+namespace smat {
+
+/// Validates every CSR invariant of \p A: non-negative dimensions, RowPtr
+/// size/anchor/monotonicity, ColIdx/Values sized to RowPtr.back(), and all
+/// column indices in [0, NumCols). \returns the first violation found.
+template <typename T> Status validateCsr(const CsrMatrix<T> &A) {
+  if (A.NumRows < 0 || A.NumCols < 0)
+    return Status::error(ErrorCode::InvalidMatrix,
+                         formatString("CSR: negative dimension (%d x %d)",
+                                      A.NumRows, A.NumCols));
+  if (A.RowPtr.size() != static_cast<std::size_t>(A.NumRows) + 1)
+    return Status::error(
+        ErrorCode::InvalidMatrix,
+        formatString("CSR: RowPtr has %zu entries, expected NumRows + 1 = %d",
+                     A.RowPtr.size(), A.NumRows + 1));
+  if (A.RowPtr.front() != 0)
+    return Status::error(
+        ErrorCode::InvalidMatrix,
+        formatString("CSR: RowPtr[0] = %d, expected 0", A.RowPtr.front()));
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    if (A.RowPtr[Row] > A.RowPtr[Row + 1])
+      return Status::error(
+          ErrorCode::InvalidMatrix,
+          formatString("CSR: RowPtr not monotone at row %d "
+                       "(RowPtr[%d] = %d > RowPtr[%d] = %d)",
+                       Row, Row, A.RowPtr[Row], Row + 1, A.RowPtr[Row + 1]));
+  std::size_t Nnz = static_cast<std::size_t>(A.RowPtr.back());
+  if (A.ColIdx.size() != Nnz)
+    return Status::error(
+        ErrorCode::InvalidMatrix,
+        formatString("CSR: ColIdx has %zu entries but RowPtr.back() = %zu",
+                     A.ColIdx.size(), Nnz));
+  if (A.Values.size() != Nnz)
+    return Status::error(
+        ErrorCode::InvalidMatrix,
+        formatString("CSR: Values has %zu entries but RowPtr.back() = %zu",
+                     A.Values.size(), Nnz));
+  for (index_t Row = 0; Row < A.NumRows; ++Row)
+    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I)
+      if (A.ColIdx[I] < 0 || A.ColIdx[I] >= A.NumCols)
+        return Status::error(
+            ErrorCode::InvalidMatrix,
+            formatString("CSR: column index %d out of range [0, %d) "
+                         "at row %d, entry %d",
+                         A.ColIdx[I], A.NumCols, Row, I));
+  return Status::success();
+}
+
+/// Validates every COO invariant of \p A: non-negative dimensions, equal
+/// Rows/Cols/Values lengths, and all coordinates in range.
+template <typename T> Status validateCoo(const CooMatrix<T> &A) {
+  if (A.NumRows < 0 || A.NumCols < 0)
+    return Status::error(ErrorCode::InvalidMatrix,
+                         formatString("COO: negative dimension (%d x %d)",
+                                      A.NumRows, A.NumCols));
+  if (A.Rows.size() != A.Values.size() || A.Cols.size() != A.Values.size())
+    return Status::error(
+        ErrorCode::InvalidMatrix,
+        formatString("COO: array lengths disagree "
+                     "(Rows %zu, Cols %zu, Values %zu)",
+                     A.Rows.size(), A.Cols.size(), A.Values.size()));
+  for (std::size_t I = 0; I != A.Rows.size(); ++I)
+    if (A.Rows[I] < 0 || A.Rows[I] >= A.NumRows || A.Cols[I] < 0 ||
+        A.Cols[I] >= A.NumCols)
+      return Status::error(
+          ErrorCode::InvalidMatrix,
+          formatString("COO: coordinate (%d, %d) out of range %d x %d "
+                       "at entry %zu",
+                       A.Rows[I], A.Cols[I], A.NumRows, A.NumCols, I));
+  return Status::success();
+}
+
+/// Validates a triplet list against the target shape (the csrFromTriplets
+/// contract): equal lengths and every coordinate in range.
+template <typename T>
+Status validateTriplets(index_t NumRows, index_t NumCols,
+                        const std::vector<index_t> &Rows,
+                        const std::vector<index_t> &Cols,
+                        const std::vector<T> &Vals) {
+  if (NumRows < 0 || NumCols < 0)
+    return Status::error(
+        ErrorCode::InvalidMatrix,
+        formatString("triplets: negative dimension (%d x %d)", NumRows,
+                     NumCols));
+  if (Rows.size() != Vals.size() || Cols.size() != Vals.size())
+    return Status::error(
+        ErrorCode::InvalidMatrix,
+        formatString("triplets: array lengths disagree "
+                     "(rows %zu, cols %zu, values %zu)",
+                     Rows.size(), Cols.size(), Vals.size()));
+  for (std::size_t I = 0; I != Rows.size(); ++I)
+    if (Rows[I] < 0 || Rows[I] >= NumRows || Cols[I] < 0 ||
+        Cols[I] >= NumCols)
+      return Status::error(
+          ErrorCode::InvalidMatrix,
+          formatString("triplets: coordinate (%d, %d) out of range %d x %d "
+                       "at entry %zu",
+                       Rows[I], Cols[I], NumRows, NumCols, I));
+  return Status::success();
+}
+
+} // namespace smat
+
+#endif // SMAT_MATRIX_VALIDATE_H

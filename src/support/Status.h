@@ -1,0 +1,142 @@
+//===- support/Status.h - Recoverable-error result types --------*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recoverable-error layer of the library: a `Status` carrying an error
+/// code plus a human-readable diagnostic, and an `Expected<T>` holding either
+/// a value or the `Status` explaining its absence.
+///
+/// Contract (see DESIGN.md section 11): every trust boundary — `Smat::tune`
+/// and `tryTune`, the `SMAT_xCSR_SpMV` entry points, the format converters,
+/// `AmgSolver::setup`, and `readMatrixMarket*` — validates its input and
+/// reports malformed data through these types (or a `std::invalid_argument`
+/// carrying the same diagnostic, for the throwing compatibility API). Code
+/// behind a validated boundary assumes well-formed input and guards its
+/// invariants with debug-only `assert`s.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_SUPPORT_STATUS_H
+#define SMAT_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace smat {
+
+/// Coarse failure classification; the diagnostic message carries the
+/// specifics (which row, which invariant, which line).
+enum class ErrorCode : int {
+  Ok = 0,
+  /// A sparse structure violates a representation invariant (non-monotone
+  /// RowPtr, out-of-range index, array size mismatch, negative dimension).
+  InvalidMatrix,
+  /// A non-matrix argument is unusable (null tuner, bad option value).
+  InvalidArgument,
+  /// A format conversion was rejected by a fill/overflow guard; binding as
+  /// CSR is the documented recovery.
+  ConversionRejected,
+  /// Malformed external text (MatrixMarket, model files).
+  ParseError,
+  /// The operation would exceed a resource cap (hostile expansion ratios).
+  ResourceExhausted,
+};
+
+/// \returns the stable lower-case name of \p Code (for logs and tests).
+inline const char *errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::InvalidMatrix:
+    return "invalid_matrix";
+  case ErrorCode::InvalidArgument:
+    return "invalid_argument";
+  case ErrorCode::ConversionRejected:
+    return "conversion_rejected";
+  case ErrorCode::ParseError:
+    return "parse_error";
+  case ErrorCode::ResourceExhausted:
+    return "resource_exhausted";
+  }
+  return "?";
+}
+
+/// An error code plus a descriptive diagnostic. Default-constructed Status
+/// is success; error states always carry a non-empty message.
+class Status {
+public:
+  Status() = default;
+
+  static Status success() { return Status(); }
+
+  static Status error(ErrorCode Code, std::string Message) {
+    assert(Code != ErrorCode::Ok && "error() requires a failure code");
+    Status S;
+    S.Code = Code;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  bool ok() const { return Code == ErrorCode::Ok; }
+  explicit operator bool() const { return ok(); }
+
+  ErrorCode code() const { return Code; }
+
+  /// The diagnostic; empty exactly when ok().
+  const std::string &message() const { return Message; }
+
+  /// "code: message" for logs; "ok" on success.
+  std::string toString() const {
+    return ok() ? std::string(errorCodeName(Code))
+                : std::string(errorCodeName(Code)) + ": " + Message;
+  }
+
+private:
+  ErrorCode Code = ErrorCode::Ok;
+  std::string Message;
+};
+
+/// Either a value or the Status explaining why there is none. Deliberately
+/// minimal (no exceptions, no heap indirection): the library's recoverable
+/// paths return this by value.
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Value(std::move(Value)) {}
+
+  /*implicit*/ Expected(Status Err) : Err(std::move(Err)) {
+    assert(!this->Err.ok() && "Expected from a success Status has no value");
+  }
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The failure (Ok status when a value is present).
+  const Status &status() const { return Err; }
+
+  T &value() {
+    assert(ok() && "value() on a failed Expected");
+    return *Value;
+  }
+  const T &value() const {
+    assert(ok() && "value() on a failed Expected");
+    return *Value;
+  }
+
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+
+private:
+  std::optional<T> Value;
+  Status Err;
+};
+
+} // namespace smat
+
+#endif // SMAT_SUPPORT_STATUS_H
