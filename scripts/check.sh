@@ -1,15 +1,25 @@
 #!/usr/bin/env bash
-#===- scripts/check.sh - Tier-1 suite, default flags then sanitized -------===#
+#===- scripts/check.sh - Tier-1 suite across the hardening builds ---------===#
 #
 # Part of the SMAT reproduction project.
 #
-# Runs the tier-1 test suite twice: once with default flags and once with
-# SMAT_SANITIZE=ON (ASan + UBSan), so the malformed-input fuzz harness is
-# exercised both for observable behavior (errors, never crashes) and for
-# silent memory errors the sanitizers surface.
+# Runs the tier-1 test suite across four build configurations:
+#
+#   build        default flags, full tier-1 suite
+#   build-asan   SMAT_SANITIZE=ON (ASan + UBSan), full tier-1 suite — the
+#                malformed-input fuzz harness under memory-error detection
+#   build-tsan   SMAT_SANITIZE=thread, stress-labelled binaries only — the
+#                concurrent PlanCache/Smat stress under ThreadSanitizer
+#                (OMP_NUM_THREADS=1: the OpenMP runtime is not TSan-
+#                instrumented, and the threading under test is std::thread)
+#   build-fault  SMAT_FAULT_INJECTION=ON, fault-labelled binaries only —
+#                the injection sweeps and degradation-ladder tests, which
+#                skip themselves in builds without the hooks
 #
 # Usage: scripts/check.sh [--fuzz-only]
-#   --fuzz-only   restrict both passes to the fuzz-labelled binaries
+#   --fuzz-only   restrict the default and ASan passes to the fuzz-labelled
+#                 binaries (the TSan and fault passes still run their own
+#                 labels)
 #
 #===----------------------------------------------------------------------===#
 
@@ -17,23 +27,27 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-CTEST_ARGS=(--output-on-failure -j "$(nproc)" -L tier1)
+TIER1_LABEL=tier1
 if [[ "${1:-}" == "--fuzz-only" ]]; then
-  CTEST_ARGS=(--output-on-failure -j "$(nproc)" -L fuzz)
+  TIER1_LABEL=fuzz
 fi
 
 run_pass() {
   local build_dir="$1"
-  shift
+  local label="$2"
+  shift 2
   echo "=== configure: ${build_dir} ($*) ==="
   cmake -B "${build_dir}" -S . "$@"
   echo "=== build: ${build_dir} ==="
   cmake --build "${build_dir}" -j "$(nproc)"
-  echo "=== ctest: ${build_dir} ==="
-  (cd "${build_dir}" && ctest "${CTEST_ARGS[@]}")
+  echo "=== ctest: ${build_dir} (-L ${label}) ==="
+  (cd "${build_dir}" &&
+   ctest --output-on-failure -j "$(nproc)" -L "${label}")
 }
 
-run_pass build
-run_pass build-asan -DSMAT_SANITIZE=ON
+run_pass build "${TIER1_LABEL}"
+run_pass build-asan "${TIER1_LABEL}" -DSMAT_SANITIZE=ON
+OMP_NUM_THREADS=1 run_pass build-tsan stress -DSMAT_SANITIZE=thread
+run_pass build-fault fault -DSMAT_FAULT_INJECTION=ON
 
-echo "=== check.sh: both passes green ==="
+echo "=== check.sh: all four passes green ==="

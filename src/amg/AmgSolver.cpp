@@ -78,9 +78,14 @@ void AmgSolver::setupImpl(const CsrMatrix<double> &A, const AmgOptions &Opts) {
 
   // One plan cache for the whole hierarchy: operators on neighbouring
   // levels repeat structure, so tuning a class once covers its recurrences.
-  TuneOptions TuneOpts;
+  // The caller's tuning knobs (budgets, measurement floors, ...) are
+  // forwarded per operator; the bindings borrow the hierarchy's matrices,
+  // so CsrMode stays Borrowed regardless of what the caller set.
+  TuneOptions TuneOpts = Options.Tune;
+  TuneOpts.CsrMode = CsrStorage::Borrowed;
   if (Options.Backend == SpmvBackendKind::Smat) {
-    TuneOpts.Cache = Options.Cache;
+    if (!TuneOpts.Cache)
+      TuneOpts.Cache = Options.Cache;
     if (!TuneOpts.Cache) {
       if (!OwnedCache)
         OwnedCache = std::make_unique<PlanCache>();
@@ -101,6 +106,7 @@ void AmgSolver::setupImpl(const CsrMatrix<double> &A, const AmgOptions &Opts) {
       TunedSpmv<double> *Op = &Tuned.back();
       Info.Format = Op->format();
       Info.Kernel = Op->kernelName();
+      Info.Degradation = Op->report().Degradation;
       Decisions.push_back(Info);
       return [Op](const double *X, double *Y) { Op->apply(X, Y); };
     }

@@ -50,6 +50,12 @@ struct AmgOptions {
   /// after level, so sharing pays the full tuning cost once per structural
   /// class. When null the solver creates and owns a private cache.
   PlanCache *Cache = nullptr;
+  /// Tuning knobs forwarded to every per-operator tune (Smat backend only):
+  /// measurement floors, the resilience budgets, ForceMeasure, ... . The
+  /// cache is resolved separately — Tune.Cache wins when set, then Cache,
+  /// then the solver-owned cache — and CsrMode is forced to Borrowed (the
+  /// hierarchy owns its operators and outlives the bindings).
+  TuneOptions Tune;
 };
 
 /// Outcome of a solve.
@@ -69,6 +75,9 @@ struct LevelFormatInfo {
   std::int64_t Nnz = 0;
   FormatKind Format = FormatKind::CSR;
   std::string Kernel;
+  /// Degradation ladder rung this operator's tune took (always None for the
+  /// FixedCsr backend).
+  DegradationLevel Degradation = DegradationLevel::None;
 };
 
 /// Algebraic multigrid solver (V-cycle; also usable as a PCG
@@ -105,9 +114,11 @@ public:
   double setupSeconds() const { return SetupTime; }
 
   /// The plan cache the Smat backend tuned through (the caller's from
-  /// AmgOptions::Cache, or the solver-owned one); null for the FixedCsr
-  /// backend or before setup().
+  /// AmgOptions::Tune.Cache or AmgOptions::Cache, or the solver-owned one);
+  /// null for the FixedCsr backend or before setup().
   const PlanCache *planCache() const {
+    if (Options.Tune.Cache)
+      return Options.Tune.Cache;
     return Options.Cache ? Options.Cache : OwnedCache.get();
   }
 

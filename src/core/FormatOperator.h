@@ -25,6 +25,7 @@
 #include "kernels/KernelRegistry.h"
 #include "kernels/Scoreboard.h"
 #include "matrix/FormatConvert.h"
+#include "ref/RefSpmv.h"
 
 #include <memory>
 #include <utility>
@@ -91,10 +92,44 @@ public:
   FormatKind kind() const override { return FormatKind::CSR; }
   const char *kernelName() const override { return Name; }
 
+  /// Replaces the owned matrix. noexcept, so the degradation ladder can run
+  /// the one throwing step (allocating this node, with an empty matrix)
+  /// first and only then move a precious move-source matrix in — if the
+  /// allocation throws, the source is still intact for the next rung.
+  void adoptMatrix(CsrMatrix<T> &&M) noexcept { A = std::move(M); }
+
 private:
   CsrMatrix<T> A;
   CsrKernelFn<T> Fn;
   const char *Name;
+};
+
+/// The degradation ladder's last rung: CSR bound to the fixed-interface
+/// reference kernel (ref/RefSpmv.h). No conversion, no kernel table, no
+/// scoreboard selection — nothing left that can fail after the node exists.
+/// Borrows the caller's matrix by default; adoptMatrix makes it
+/// self-contained for the rvalue tune path.
+template <typename T>
+class CsrReferenceOperator final : public FormatOperator<T> {
+public:
+  /// Borrowing: \p A must outlive the operator.
+  explicit CsrReferenceOperator(const CsrMatrix<T> &A) : Bound(&A) {}
+
+  void apply(const T *X, T *Y) const override { refCsrSpmv(*Bound, X, Y); }
+  FormatKind kind() const override { return FormatKind::CSR; }
+  const char *kernelName() const override { return "csr_reference"; }
+  bool ownsStorage() const override { return Bound == &Owned; }
+
+  /// Moves \p M in, making the operator self-contained. noexcept for the
+  /// same allocate-then-adopt reason as CsrOwningOperator::adoptMatrix.
+  void adoptMatrix(CsrMatrix<T> &&M) noexcept {
+    Owned = std::move(M);
+    Bound = &Owned;
+  }
+
+private:
+  CsrMatrix<T> Owned;
+  const CsrMatrix<T> *Bound;
 };
 
 template <typename T> class CooOperator final : public FormatOperator<T> {
@@ -217,9 +252,18 @@ bindFormatOperator(const CsrMatrix<T> &A, FormatKind Requested,
   }
 
   const auto &K = Kernels.Csr[Best(FormatKind::CSR)];
-  if (Storage == CsrStorage::Owned)
-    return std::make_unique<CsrOwningOperator<T>>(
-        MoveSource ? std::move(*MoveSource) : CsrMatrix<T>(A), K.Fn, K.Name);
+  if (Storage == CsrStorage::Owned) {
+    // Allocate the node (the only throwing step) with an empty matrix, then
+    // adopt the real storage noexcept: if the allocation throws, a
+    // MoveSource matrix is still intact for the caller's degradation ladder.
+    auto Op =
+        std::make_unique<CsrOwningOperator<T>>(CsrMatrix<T>(), K.Fn, K.Name);
+    if (MoveSource)
+      Op->adoptMatrix(std::move(*MoveSource));
+    else
+      Op->adoptMatrix(CsrMatrix<T>(A));
+    return Op;
+  }
   return std::make_unique<CsrBorrowedOperator<T>>(A, K.Fn, K.Name);
 }
 

@@ -29,10 +29,12 @@
 #include "features/FeatureExtractor.h"
 #include "matrix/Format.h"
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 namespace smat {
@@ -81,6 +83,24 @@ struct PlanCacheStats {
   std::uint64_t Misses = 0;
   std::uint64_t Inserts = 0;
   std::uint64_t Evictions = 0;
+  /// lookupOrLead calls that blocked behind another thread's in-flight tune
+  /// of the same fingerprint instead of measuring themselves.
+  std::uint64_t SingleflightWaits = 0;
+};
+
+/// Outcome of PlanCache::lookupOrLead (the singleflight probe).
+struct PlanProbe {
+  /// A plan was found: immediately cached, or published by the in-flight
+  /// tune this call waited for.
+  bool Hit = false;
+  /// This caller holds the measurement lease for the fingerprint and MUST
+  /// call publish() or abandon() for it exactly once — other threads
+  /// probing the same fingerprint are blocked until it does.
+  bool Lead = false;
+  /// The hit was satisfied by another thread's publication after a wait
+  /// (as opposed to an immediate cache hit).
+  bool Shared = false;
+  CachedPlan Plan;
 };
 
 /// A bounded, thread-safe LRU cache of tuning plans keyed by structural
@@ -94,11 +114,30 @@ public:
   /// LRU position, and returns true. Counts a hit or a miss either way.
   bool lookup(const PlanFingerprint &Fp, CachedPlan &Plan);
 
+  /// Singleflight probe: like lookup, but a miss whose fingerprint another
+  /// thread is already tuning blocks until that tune publishes (a shared
+  /// hit) or abandons (this caller inherits the lease). A miss with no tune
+  /// in flight returns Lead = true; the leader must publish() or abandon()
+  /// the fingerprint exactly once (Smat uses an RAII guard). Concurrent
+  /// tunes of the same structure therefore measure once.
+  PlanProbe lookupOrLead(const PlanFingerprint &Fp);
+
+  /// Publishes the leader's plan for \p Fp, releases the lease, and wakes
+  /// every thread waiting on the fingerprint.
+  void publish(const PlanFingerprint &Fp, const CachedPlan &Plan);
+
+  /// Releases the lease for \p Fp without publishing (the leading tune
+  /// degraded to a plan not worth caching, or failed to insert). One waiter
+  /// wakes and inherits the lease.
+  void abandon(const PlanFingerprint &Fp);
+
   /// Inserts or overwrites the plan for \p Fp, evicting the least recently
   /// used entry when at capacity.
   void insert(const PlanFingerprint &Fp, const CachedPlan &Plan);
 
   /// Drops every entry (counters are preserved; they are monotonic).
+  /// In-flight singleflight leases are untouched: their leaders still hold
+  /// them and will publish or abandon as usual.
   void clear();
 
   PlanCacheStats stats() const;
@@ -108,6 +147,9 @@ public:
 private:
   using Entry = std::pair<PlanFingerprint, CachedPlan>;
 
+  /// insert() with Mutex already held.
+  void insertLocked(const PlanFingerprint &Fp, const CachedPlan &Plan);
+
   mutable std::mutex Mutex;
   std::size_t Capacity;
   /// Most recently used at the front.
@@ -115,6 +157,10 @@ private:
   std::unordered_map<PlanFingerprint, std::list<Entry>::iterator,
                      PlanFingerprintHash>
       Index;
+  /// Fingerprints whose tune is in flight under a singleflight lease.
+  std::unordered_set<PlanFingerprint, PlanFingerprintHash> InFlight;
+  /// Signalled on publish()/abandon() so lookupOrLead waiters re-probe.
+  std::condition_variable InFlightCv;
   PlanCacheStats Counters;
 };
 

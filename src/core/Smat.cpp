@@ -6,12 +6,23 @@
 
 #include "core/Smat.h"
 
+#include "support/FaultInjection.h"
 #include "support/Timer.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 using namespace smat;
+
+namespace {
+
+/// Rungs are ordered; a tune reports the deepest one it touched.
+DegradationLevel maxLevel(DegradationLevel A, DegradationLevel B) {
+  return static_cast<int>(A) >= static_cast<int>(B) ? A : B;
+}
+
+} // namespace
 
 template <typename T> Smat<T> Smat<T>::fromFile(const std::string &Path) {
   LearningModel Model;
@@ -47,6 +58,19 @@ Status Smat<T>::validateTuneInput(const CsrMatrix<T> &A,
         formatString("TuneOptions: MeasureMinSeconds must be finite and "
                      "non-negative (got %g)",
                      Opts.MeasureMinSeconds));
+  if (!(Opts.MeasureBudgetSeconds >= 0.0) ||
+      !std::isfinite(Opts.MeasureBudgetSeconds))
+    return Status::error(
+        ErrorCode::InvalidArgument,
+        formatString("TuneOptions: MeasureBudgetSeconds must be finite and "
+                     "non-negative (got %g)",
+                     Opts.MeasureBudgetSeconds));
+  if (!(Opts.TuneBudgetSeconds >= 0.0) || !std::isfinite(Opts.TuneBudgetSeconds))
+    return Status::error(
+        ErrorCode::InvalidArgument,
+        formatString("TuneOptions: TuneBudgetSeconds must be finite and "
+                     "non-negative (got %g)",
+                     Opts.TuneBudgetSeconds));
   return Status::success();
 }
 
@@ -97,29 +121,72 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
   Op.Nnz = A.nnz();
   TuningReport &Report = Op.Report;
 
-  TuningContext<T> Ctx{A, Model, Opts, MoveSource};
+  TuningContext<T> Ctx{A, Model, Opts, MoveSource,
+                       Opts.TuneBudgetSeconds > 0.0 ? &TuneTimer : nullptr};
+
+  // Seconds of whole-tune budget left; +inf when unlimited.
+  auto TuneRemaining = [&]() -> double {
+    if (Opts.TuneBudgetSeconds <= 0.0)
+      return std::numeric_limits<double>::infinity();
+    return Opts.TuneBudgetSeconds - TuneTimer.seconds();
+  };
 
   // Stage 1: feature extraction (step 1; R stays lazy inside PredictStage).
-  FeatureStageResult Features = FeatureStage::run(Ctx);
+  // A matrix that passed validation cannot fail to tune: a throwing stage
+  // is dropped and the tune continues with what remains (DESIGN.md section
+  // 12). Without features there is no fingerprint and no rule walk, so the
+  // decision collapses straight to CSR.
+  FeatureStageResult Features;
+  bool HaveFeatures = true;
+  try {
+    Features = FeatureStage::run(Ctx);
+  } catch (...) {
+    HaveFeatures = false;
+    Features = FeatureStageResult();
+    ++Report.DroppedCandidates;
+  }
   Report.FeatureSeconds = Features.Seconds;
 
   // Plan-cache probe. The fingerprint needs only step-1 features, so a hit
   // costs one extraction + one hash lookup and skips everything up to the
-  // bind. ForceMeasure bypasses the lookup (the caller wants ground truth)
-  // but the freshly tuned plan is still inserted below.
+  // bind. The probe is a singleflight: a miss whose fingerprint another
+  // thread is already tuning waits for that thread's published plan instead
+  // of measuring the same structure twice. ForceMeasure bypasses the lookup
+  // (the caller wants ground truth) but the freshly tuned plan is still
+  // inserted below.
   FormatKind Chosen = FormatKind::CSR;
-  bool Decided = false;
+  bool Decided = !HaveFeatures;
   PlanFingerprint Fp;
-  if (Opts.Cache) {
+  PlanCache *Cache = HaveFeatures ? Opts.Cache : nullptr;
+  bool Leading = false;
+  if (Cache) {
     Fp = fingerprintFeatures(Features.Features);
-    CachedPlan Plan;
-    if (!Opts.ForceMeasure && Opts.Cache->lookup(Fp, Plan)) {
-      Chosen = Plan.Format;
-      Report.CsrSpmvSeconds = Plan.CsrSpmvSeconds;
-      Report.PlanCacheHit = true;
-      Decided = true;
+    if (!Opts.ForceMeasure) {
+      PlanProbe Probe = Cache->lookupOrLead(Fp);
+      if (Probe.Hit) {
+        Chosen = Probe.Plan.Format;
+        Report.CsrSpmvSeconds = Probe.Plan.CsrSpmvSeconds;
+        Report.PlanCacheHit = true;
+        Report.PlanShared = Probe.Shared;
+        Decided = true;
+      } else {
+        Leading = true;
+      }
     }
   }
+
+  // While leading, every exit path must release the lease or the threads
+  // waiting on this fingerprint block forever; the guard abandons it unless
+  // the normal path publishes first.
+  struct LeaseGuard {
+    PlanCache *Cache;
+    const PlanFingerprint *Fp;
+    bool Active;
+    ~LeaseGuard() {
+      if (Active)
+        Cache->abandon(*Fp);
+    }
+  } Lease{Cache, &Fp, Leading};
 
   // The overhead-baseline measurement is excluded from TuneSeconds (it is
   // the unit of Table 3's metric, not part of tuning); track it so it can be
@@ -127,51 +194,131 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
   double BaselineSeconds = 0.0;
 
   if (!Decided) {
-    // Stage 2: confidence-gated prediction.
-    PredictStageResult Prediction = PredictStage::run(Ctx, Features);
+    // Stage 2: confidence-gated prediction. A throwing predictor is dropped;
+    // the default-constructed (unconfident) result lets execute-and-measure
+    // recover the decision when allowed.
+    PredictStageResult Prediction;
+    try {
+      Prediction = PredictStage::run(Ctx, Features);
+    } catch (...) {
+      Prediction = PredictStageResult();
+      ++Report.DroppedCandidates;
+    }
     Report.ModelPrediction = Prediction.Prediction;
     Report.ModelConfidence = Prediction.Confidence;
     Report.ModelConfident = Prediction.Confident;
     Report.PredictSeconds = Prediction.Seconds;
     Chosen = Prediction.Prediction;
 
-    // Stage 3: execute-and-measure when forced or unconfident.
-    if (MeasureStage::shouldRun(Opts, Prediction)) {
-      MeasureStageResult Measured =
-          MeasureStage::run(Ctx, Features, Prediction.Prediction);
-      Report.MeasuredGflops = std::move(Measured.MeasuredGflops);
-      Report.MeasureSeconds = Measured.Seconds;
-      Chosen = Measured.Best;
+    // Stage 3: execute-and-measure when forced or unconfident. The stage
+    // handles per-candidate failures and budgets itself; this catch only
+    // covers its shared setup (vector allocation).
+    if (MeasureStage::shouldRun(Opts, Prediction) && TuneRemaining() > 0.0) {
+      try {
+        MeasureStageResult Measured =
+            MeasureStage::run(Ctx, Features, Prediction.Prediction);
+        Report.MeasuredGflops = std::move(Measured.MeasuredGflops);
+        Report.MeasureSeconds = Measured.Seconds;
+        Report.NoisyTimings = Measured.NoisyTimings;
+        Report.BudgetExhausted = Measured.BudgetExhausted;
+        Report.DroppedCandidates += Measured.DroppedCandidates;
+        if (!Measured.MeasuredGflops.empty())
+          Chosen = Measured.Best;
+      } catch (...) {
+        ++Report.DroppedCandidates;
+      }
+    } else if (MeasureStage::shouldRun(Opts, Prediction)) {
+      Report.BudgetExhausted = true;
     }
 
     // Overhead unit: one basic CSR SpMV on this matrix (Table 3's metric).
     // Measured before the bind because an rvalue-path bind may move A away.
-    {
-      WallTimer BaselineTimer;
-      const KernelTable<T> &Kernels = kernelTable<T>();
-      AlignedVector<T> X(static_cast<std::size_t>(A.NumCols), T(1));
-      AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows), T(0));
-      Report.CsrSpmvSeconds = measureSecondsPerCall(
-          [&] { Kernels.Csr[0].Fn(A, X.data(), Y.data()); }, 1e-4, 2);
-      BaselineSeconds = BaselineTimer.seconds();
+    // Skipped when the tune budget is already spent (the report then has no
+    // overhead unit — overheadRatio() returns 0).
+    if (TuneRemaining() > 0.0) {
+      try {
+        WallTimer BaselineTimer;
+        const KernelTable<T> &Kernels = kernelTable<T>();
+        AlignedVector<T> X(static_cast<std::size_t>(A.NumCols), T(1));
+        AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows), T(0));
+        Report.CsrSpmvSeconds = measureSecondsPerCall(
+            [&] {
+              fault::injectKernelFault("measure.baseline");
+              Kernels.Csr[0].Fn(A, X.data(), Y.data());
+            },
+            1e-4, 2);
+        BaselineSeconds = BaselineTimer.seconds();
+      } catch (...) {
+        Report.CsrSpmvSeconds = 0.0;
+        ++Report.DroppedCandidates;
+      }
+    } else {
+      Report.BudgetExhausted = true;
     }
   }
 
-  // Stage 4: conversion + kernel binding. The bound format can fall back to
-  // CSR when a conversion guard rejects a confident prediction (or a stale
-  // cached plan); the report and the cache both record what was bound.
+  // Stage 4: conversion + kernel binding through the degradation ladder —
+  // full bind, then the basic CSR kernel, then the CSR reference plan. The
+  // stage cannot fail; it reports the rung it had to take. The long-standing
+  // conversion-guard fallback to CSR inside the full bind stays rung 0: the
+  // report and the cache both record what was actually bound.
   BindStageResult<T> Bound = BindStage::run(Ctx, Chosen);
   Report.ChosenFormat = Bound.BoundFormat;
   Report.KernelName = std::move(Bound.KernelName);
   Report.BindSeconds = Bound.Seconds;
+  Report.Degradation = Bound.Degradation;
   Op.Op = std::move(Bound.Op);
 
-  if (Opts.Cache && !Report.PlanCacheHit)
-    Opts.Cache->insert(Fp, {Report.ChosenFormat, Report.CsrSpmvSeconds});
+  if (Report.DroppedCandidates > 0)
+    Report.Degradation =
+        maxLevel(Report.Degradation, DegradationLevel::CandidateDropped);
+
+  if (Cache && !Report.PlanCacheHit) {
+    CachedPlan Plan{Report.ChosenFormat, Report.CsrSpmvSeconds};
+    if (Leading) {
+      Cache->publish(Fp, Plan);
+      Lease.Active = false;
+    } else {
+      Cache->insert(Fp, Plan);
+    }
+  }
 
   Report.Features = Features.Features;
   Report.TuneSeconds = std::max(0.0, TuneTimer.seconds() - BaselineSeconds);
+
+  ResilienceState &RS = *Resilience;
+  RS.Tunes.fetch_add(1, std::memory_order_relaxed);
+  RS.CandidatesDropped.fetch_add(
+      static_cast<std::uint64_t>(Report.DroppedCandidates),
+      std::memory_order_relaxed);
+  if (Report.NoisyTimings)
+    RS.NoisyTunes.fetch_add(1, std::memory_order_relaxed);
+  if (Report.BudgetExhausted)
+    RS.BudgetExhaustedTunes.fetch_add(1, std::memory_order_relaxed);
+  if (Report.Degradation == DegradationLevel::BasicKernel)
+    RS.BasicKernelFallbacks.fetch_add(1, std::memory_order_relaxed);
+  if (Report.Degradation == DegradationLevel::ReferenceCsr)
+    RS.ReferenceFallbacks.fetch_add(1, std::memory_order_relaxed);
+  if (Report.PlanShared)
+    RS.PlanShares.fetch_add(1, std::memory_order_relaxed);
   return Op;
+}
+
+template <typename T>
+SmatResilienceCounters Smat<T>::resilienceCounters() const {
+  const ResilienceState &RS = *Resilience;
+  SmatResilienceCounters Out;
+  Out.Tunes = RS.Tunes.load(std::memory_order_relaxed);
+  Out.CandidatesDropped = RS.CandidatesDropped.load(std::memory_order_relaxed);
+  Out.NoisyTunes = RS.NoisyTunes.load(std::memory_order_relaxed);
+  Out.BudgetExhaustedTunes =
+      RS.BudgetExhaustedTunes.load(std::memory_order_relaxed);
+  Out.BasicKernelFallbacks =
+      RS.BasicKernelFallbacks.load(std::memory_order_relaxed);
+  Out.ReferenceFallbacks =
+      RS.ReferenceFallbacks.load(std::memory_order_relaxed);
+  Out.PlanShares = RS.PlanShares.load(std::memory_order_relaxed);
+  return Out;
 }
 
 TunedSpmv<double> smat::SMAT_dCSR_SpMV(const Smat<double> &Tuner,

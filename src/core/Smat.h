@@ -43,7 +43,9 @@
 #include "matrix/Validate.h"
 #include "support/Status.h"
 
+#include <atomic>
 #include <cassert>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -82,10 +84,38 @@ struct TuningReport {
   double PredictSeconds = 0.0;
   double MeasureSeconds = 0.0;
   double BindSeconds = 0.0;
+  /// Resilience trace (DESIGN.md section 12). The rung of the degradation
+  /// ladder this tune had to take; None when everything succeeded.
+  DegradationLevel Degradation = DegradationLevel::None;
+  /// Candidates (or pipeline stages) dropped mid-tune because a conversion
+  /// or kernel failed; the plan was built from the survivors.
+  int DroppedCandidates = 0;
+  /// Some candidate's timing samples stayed noisier than the robust-measure
+  /// spread threshold even after backoff retries.
+  bool NoisyTimings = false;
+  /// A MeasureBudgetSeconds/TuneBudgetSeconds budget expired mid-tune and
+  /// the remaining work was skipped.
+  bool BudgetExhausted = false;
+  /// The plan came from another thread's concurrent tune of the same
+  /// fingerprint (singleflight wait), not this thread's own measurement.
+  /// Implies PlanCacheHit.
+  bool PlanShared = false;
 
   double overheadRatio() const {
     return CsrSpmvSeconds > 0 ? TuneSeconds / CsrSpmvSeconds : 0.0;
   }
+};
+
+/// Snapshot of one Smat instance's monotonic resilience counters, aggregated
+/// across every tune it has run (thread-safe; see Smat::resilienceCounters).
+struct SmatResilienceCounters {
+  std::uint64_t Tunes = 0;              ///< Tunes completed.
+  std::uint64_t CandidatesDropped = 0;  ///< Candidates/stages dropped.
+  std::uint64_t NoisyTunes = 0;         ///< Tunes with NoisyTimings.
+  std::uint64_t BudgetExhaustedTunes = 0; ///< Tunes with BudgetExhausted.
+  std::uint64_t BasicKernelFallbacks = 0; ///< Tunes that bound the basic rung.
+  std::uint64_t ReferenceFallbacks = 0;   ///< Tunes that bound the last rung.
+  std::uint64_t PlanShares = 0; ///< Tunes served by a singleflight wait.
 };
 
 /// A tuned SpMV operator bound to one matrix.
@@ -143,9 +173,23 @@ private:
 /// matrices, the paper's reusability property).
 template <typename T> class Smat {
 public:
-  explicit Smat(LearningModel ModelIn) : Model(std::move(ModelIn)) {
+  explicit Smat(LearningModel ModelIn)
+      : Model(std::move(ModelIn)),
+        Resilience(std::make_unique<ResilienceState>()) {
     Model.refreshRuleMetadata();
   }
+
+  /// Copying a tuner copies the model but starts fresh resilience counters
+  /// (they describe an instance's history, not the model).
+  Smat(const Smat &Other)
+      : Model(Other.Model), Resilience(std::make_unique<ResilienceState>()) {}
+  Smat &operator=(const Smat &Other) {
+    Model = Other.Model;
+    Resilience = std::make_unique<ResilienceState>();
+    return *this;
+  }
+  Smat(Smat &&) noexcept = default;
+  Smat &operator=(Smat &&) noexcept = default;
 
   /// Loads a model file produced by saveModelFile. Throws std::runtime_error
   /// (with the path and parse error in the message) on failure.
@@ -182,6 +226,12 @@ public:
   Expected<TunedSpmv<T>> tryTune(CsrMatrix<T> &&A,
                                  TuneOptions Opts = TuneOptions()) const;
 
+  /// \returns a snapshot of this instance's resilience counters: how many
+  /// tunes ran, and how often they dropped candidates, hit noisy timings,
+  /// exhausted budgets, fell down the degradation ladder, or were served by
+  /// a concurrent tune's singleflight publication. Thread-safe.
+  SmatResilienceCounters resilienceCounters() const;
+
 private:
   /// Validation shared by every public entry point (matrix and options).
   static Status validateTuneInput(const CsrMatrix<T> &A,
@@ -190,7 +240,20 @@ private:
   TunedSpmv<T> tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
                         CsrMatrix<T> *MoveSource) const;
 
+  /// Atomic counter block behind a pointer so the tuner stays movable (and
+  /// tuneImpl, which is const, can count).
+  struct ResilienceState {
+    std::atomic<std::uint64_t> Tunes{0};
+    std::atomic<std::uint64_t> CandidatesDropped{0};
+    std::atomic<std::uint64_t> NoisyTunes{0};
+    std::atomic<std::uint64_t> BudgetExhaustedTunes{0};
+    std::atomic<std::uint64_t> BasicKernelFallbacks{0};
+    std::atomic<std::uint64_t> ReferenceFallbacks{0};
+    std::atomic<std::uint64_t> PlanShares{0};
+  };
+
   LearningModel Model;
+  std::unique_ptr<ResilienceState> Resilience;
 };
 
 extern template class TunedSpmv<float>;

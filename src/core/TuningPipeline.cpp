@@ -6,9 +6,26 @@
 
 #include "core/TuningPipeline.h"
 
+#include "support/FaultInjection.h"
 #include "support/Timer.h"
 
+#include <limits>
+
 using namespace smat;
+
+const char *smat::degradationLevelName(DegradationLevel Level) {
+  switch (Level) {
+  case DegradationLevel::None:
+    return "none";
+  case DegradationLevel::CandidateDropped:
+    return "candidate_dropped";
+  case DegradationLevel::BasicKernel:
+    return "basic_kernel";
+  case DegradationLevel::ReferenceCsr:
+    return "reference_csr";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -42,6 +59,7 @@ template <typename T>
 FeatureStageResult FeatureStage::run(const TuningContext<T> &Ctx) {
   WallTimer Timer;
   FeatureStageResult Result;
+  fault::injectKernelFault("feature.extract");
   Result.Features = extractStructureFeatures(Ctx.A);
   Result.Seconds = Timer.seconds();
   return Result;
@@ -64,6 +82,7 @@ PredictStageResult PredictStage::run(const TuningContext<T> &Ctx,
   WallTimer Timer;
   const LearningModel &Model = Ctx.Model;
   PredictStageResult Result;
+  fault::injectKernelFault("predict.classify");
   Result.Prediction = Model.Rules.DefaultFormat;
 
   // Rule-group walk with lazy R (feature extraction step 2). Groups are
@@ -120,11 +139,44 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
   AlignedVector<T> X(static_cast<std::size_t>(A.NumCols), T(1));
   AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows), T(0));
 
-  auto Consider = [&](FormatKind Kind, auto &&RunOnce) {
-    double Seconds =
-        measureSecondsPerCall(RunOnce, Ctx.Opts.MeasureMinSeconds);
-    Result.MeasuredGflops.emplace_back(
-        Kind, spmvGflops(static_cast<std::uint64_t>(A.nnz()), Seconds));
+  // Seconds of tune budget left; +inf when unlimited.
+  auto TuneRemaining = [&]() -> double {
+    if (Ctx.Opts.TuneBudgetSeconds <= 0.0 || !Ctx.TuneClock)
+      return std::numeric_limits<double>::infinity();
+    return Ctx.Opts.TuneBudgetSeconds - Ctx.TuneClock->seconds();
+  };
+
+  // Measurement watchdog around one candidate: robust (min-of-k, spread
+  // checked, backoff-retried) timing under the tighter of the per-candidate
+  // and remaining whole-tune budgets; a candidate whose kernel throws is
+  // dropped and the sweep continues.
+  auto Consider = [&](FormatKind Kind, const char *Site, auto &&RunOnce) {
+    double Remaining = TuneRemaining();
+    if (Remaining <= 0.0) {
+      Result.BudgetExhausted = true;
+      return;
+    }
+    RobustMeasureOptions MOpts;
+    MOpts.MinSeconds = Ctx.Opts.MeasureMinSeconds;
+    MOpts.BudgetSeconds = Ctx.Opts.MeasureBudgetSeconds;
+    if (Remaining != std::numeric_limits<double>::infinity() &&
+        (MOpts.BudgetSeconds <= 0.0 || Remaining < MOpts.BudgetSeconds))
+      MOpts.BudgetSeconds = Remaining;
+    try {
+      RobustMeasureResult M = robustMeasureSecondsPerCall(
+          [&] {
+            fault::injectKernelFault(Site);
+            RunOnce();
+          },
+          MOpts);
+      Result.NoisyTimings = Result.NoisyTimings || M.Noisy;
+      Result.BudgetExhausted = Result.BudgetExhausted || M.BudgetHit;
+      Result.MeasuredGflops.emplace_back(
+          Kind,
+          spmvGflops(static_cast<std::uint64_t>(A.nnz()), M.SecondsPerCall));
+    } catch (...) {
+      ++Result.DroppedCandidates;
+    }
   };
 
   auto BestIdx = [&Model](FormatKind Kind) {
@@ -132,41 +184,55 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
         Model.Kernels.BestKernel[static_cast<int>(Kind)]);
   };
 
-  Consider(FormatKind::CSR, [&] {
+  Consider(FormatKind::CSR, "measure.kernel.CSR", [&] {
     Kernels.Csr[BestIdx(FormatKind::CSR)].Fn(A, X.data(), Y.data());
   });
-  {
+  try {
     CooMatrix<T> Coo = csrToCoo(A);
     // Respect declared kernel preconditions (csrToCoo output always has
     // monotone rows, but the registration is the contract, not the builder).
     std::size_t CooIdx = BestIdx(FormatKind::COO);
     if (!kernelPrecondsHold(Kernels.Coo[CooIdx].Preconds, Coo))
       CooIdx = 0;
-    Consider(FormatKind::COO, [&] {
+    Consider(FormatKind::COO, "measure.kernel.COO", [&] {
       Kernels.Coo[CooIdx].Fn(Coo, X.data(), Y.data());
     });
+  } catch (...) {
+    ++Result.DroppedCandidates; // COO conversion failed; CSR already ran.
   }
-  if (diaPlausible(Features.Features)) {
-    DiaMatrix<T> Dia;
-    if (csrToDia(A, Dia))
-      Consider(FormatKind::DIA, [&] {
-        Kernels.Dia[BestIdx(FormatKind::DIA)].Fn(Dia, X.data(), Y.data());
-      });
+  try {
+    if (diaPlausible(Features.Features)) {
+      DiaMatrix<T> Dia;
+      if (csrToDia(A, Dia))
+        Consider(FormatKind::DIA, "measure.kernel.DIA", [&] {
+          Kernels.Dia[BestIdx(FormatKind::DIA)].Fn(Dia, X.data(), Y.data());
+        });
+    }
+  } catch (...) {
+    ++Result.DroppedCandidates;
   }
-  if (ellPlausible(Features.Features)) {
-    EllMatrix<T> Ell;
-    if (csrToEll(A, Ell))
-      Consider(FormatKind::ELL, [&] {
-        Kernels.Ell[BestIdx(FormatKind::ELL)].Fn(Ell, X.data(), Y.data());
-      });
+  try {
+    if (ellPlausible(Features.Features)) {
+      EllMatrix<T> Ell;
+      if (csrToEll(A, Ell))
+        Consider(FormatKind::ELL, "measure.kernel.ELL", [&] {
+          Kernels.Ell[BestIdx(FormatKind::ELL)].Fn(Ell, X.data(), Y.data());
+        });
+    }
+  } catch (...) {
+    ++Result.DroppedCandidates;
   }
-  if (Model.BsrEnabled && bsrPlausible(Features.Features)) {
-    index_t BlockSize = chooseBsrBlockSize(A);
-    BsrMatrix<T> Bsr;
-    if (BlockSize > 0 && csrToBsr(A, Bsr, BlockSize))
-      Consider(FormatKind::BSR, [&] {
-        Kernels.Bsr[BestIdx(FormatKind::BSR)].Fn(Bsr, X.data(), Y.data());
-      });
+  try {
+    if (Model.BsrEnabled && bsrPlausible(Features.Features)) {
+      index_t BlockSize = chooseBsrBlockSize(A);
+      BsrMatrix<T> Bsr;
+      if (BlockSize > 0 && csrToBsr(A, Bsr, BlockSize))
+        Consider(FormatKind::BSR, "measure.kernel.BSR", [&] {
+          Kernels.Bsr[BestIdx(FormatKind::BSR)].Fn(Bsr, X.data(), Y.data());
+        });
+    }
+  } catch (...) {
+    ++Result.DroppedCandidates;
   }
 
   double BestGflops = -1.0;
@@ -186,8 +252,57 @@ BindStageResult<T> BindStage::run(const TuningContext<T> &Ctx,
                                   FormatKind Requested) {
   WallTimer Timer;
   BindStageResult<T> Result;
-  Result.Op = bindFormatOperator(Ctx.A, Requested, Ctx.Model.Kernels,
-                                 Ctx.Opts.CsrMode, Ctx.MoveSource);
+
+  // Rung 0: the full bind — conversion plus the scoreboard-selected kernel
+  // (with the long-standing guard fallback to CSR inside).
+  try {
+    fault::injectKernelFault("bind.operator");
+    Result.Op = bindFormatOperator(Ctx.A, Requested, Ctx.Model.Kernels,
+                                   Ctx.Opts.CsrMode, Ctx.MoveSource);
+  } catch (...) {
+    Result.Op = nullptr;
+  }
+
+  // Rung BasicKernel: the strategy-free CSR kernel, no conversion and no
+  // scoreboard lookup. On the Owned path the operator node (the only
+  // throwing step) is allocated with an empty matrix first and the real
+  // storage adopted afterwards (noexcept), so a failure here leaves a
+  // MoveSource intact for the final rung.
+  if (!Result.Op) {
+    Result.Degradation = DegradationLevel::BasicKernel;
+    try {
+      fault::injectKernelFault("bind.basic_csr");
+      const auto &K = basicCsrKernel<T>();
+      if (Ctx.Opts.CsrMode == CsrStorage::Owned) {
+        auto Owning = std::make_unique<CsrOwningOperator<T>>(CsrMatrix<T>(),
+                                                             K.Fn, K.Name);
+        if (Ctx.MoveSource)
+          Owning->adoptMatrix(std::move(*Ctx.MoveSource));
+        else
+          Owning->adoptMatrix(CsrMatrix<T>(Ctx.A));
+        Result.Op = std::move(Owning);
+      } else {
+        Result.Op =
+            std::make_unique<CsrBorrowedOperator<T>>(Ctx.A, K.Fn, K.Name);
+      }
+    } catch (...) {
+      Result.Op = nullptr;
+    }
+  }
+
+  // Final rung: the CSR reference kernel. Once the node exists nothing can
+  // fail. The rvalue tune path moves its matrix in (the caller's temporary
+  // is about to die); the lvalue path borrows — if Owned was requested but
+  // its copy failed above, borrowing is the honest remainder, and
+  // ownsStorage() reports it.
+  if (!Result.Op) {
+    Result.Degradation = DegradationLevel::ReferenceCsr;
+    auto Ref = std::make_unique<CsrReferenceOperator<T>>(Ctx.A);
+    if (Ctx.Opts.CsrMode == CsrStorage::Owned && Ctx.MoveSource)
+      Ref->adoptMatrix(std::move(*Ctx.MoveSource));
+    Result.Op = std::move(Ref);
+  }
+
   Result.BoundFormat = Result.Op->kind();
   Result.KernelName = Result.Op->kernelName();
   Result.Seconds = Timer.seconds();

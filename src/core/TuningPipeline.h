@@ -31,6 +31,7 @@
 #include "core/FormatOperator.h"
 #include "core/LearningModel.h"
 #include "features/FeatureExtractor.h"
+#include "support/Timer.h"
 
 #include <string>
 #include <utility>
@@ -39,6 +40,27 @@
 namespace smat {
 
 class PlanCache;
+
+/// How far down the degradation ladder a tune had to go (DESIGN.md section
+/// 12). Once a matrix passes validation the runtime never fails a tune; it
+/// takes the highest rung that still works and reports it here.
+enum class DegradationLevel {
+  /// Everything the tune attempted succeeded.
+  None = 0,
+  /// At least one candidate format or pipeline stage failed and was dropped;
+  /// the plan was built from the survivors.
+  CandidateDropped,
+  /// Binding the chosen plan failed; the basic (strategy-free) CSR kernel
+  /// was bound instead.
+  BasicKernel,
+  /// Even the basic-kernel bind failed; the fixed-interface CSR reference
+  /// kernel was bound. Nothing below this rung exists.
+  ReferenceCsr,
+};
+
+/// \returns a short stable name for \p Level ("none", "candidate_dropped",
+/// "basic_kernel", "reference_csr").
+const char *degradationLevelName(DegradationLevel Level);
 
 /// Tuning knobs for one tune() call.
 struct TuneOptions {
@@ -59,8 +81,21 @@ struct TuneOptions {
   CsrStorage CsrMode = CsrStorage::Borrowed;
   /// Optional plan cache shared across tune() calls. A fingerprint hit
   /// skips PredictStage, MeasureStage, and the overhead-baseline
-  /// measurement entirely; a miss inserts the bound plan afterwards.
+  /// measurement entirely; a miss inserts the bound plan afterwards. When
+  /// several threads tune the same structure concurrently, singleflight
+  /// deduplication lets one of them measure while the rest wait for the
+  /// published plan.
   PlanCache *Cache = nullptr;
+  /// Wall-clock budget in seconds for measuring a single candidate format
+  /// (0 = unlimited). A candidate that exhausts its budget keeps its best
+  /// sample so far; retries and extra samples are skipped.
+  double MeasureBudgetSeconds = 0.0;
+  /// Wall-clock budget in seconds for the whole tune (0 = unlimited). When
+  /// it expires, remaining candidates are skipped and the tune completes
+  /// from what was measured — degrading rather than failing. The budget is
+  /// checked between candidates, so a tune finishes within roughly 2x the
+  /// budget in the worst case.
+  double TuneBudgetSeconds = 0.0;
 };
 
 /// Everything the stages read; one per tune() call.
@@ -71,6 +106,9 @@ template <typename T> struct TuningContext {
   /// Non-null only on the rvalue tune path: the same matrix as A, mutable,
   /// so an Owned CSR bind can move the storage instead of copying it.
   CsrMatrix<T> *MoveSource = nullptr;
+  /// Wall clock of the whole tune, set by Smat::tuneImpl when
+  /// Opts.TuneBudgetSeconds > 0 so stages can check the remaining budget.
+  const WallTimer *TuneClock = nullptr;
 };
 
 /// Result of FeatureStage. Seconds covers step 1 only; a lazily triggered
@@ -98,6 +136,13 @@ struct MeasureStageResult {
   /// The measured winner (or the fallback passed in when nothing ran).
   FormatKind Best = FormatKind::CSR;
   double Seconds = 0.0;
+  /// Some candidate's timing samples disagreed beyond the robust-measure
+  /// spread threshold even after backoff retries.
+  bool NoisyTimings = false;
+  /// A measurement or tune budget expired before every candidate ran.
+  bool BudgetExhausted = false;
+  /// Candidates skipped because their conversion or kernel threw.
+  int DroppedCandidates = 0;
 };
 
 /// Result of BindStage.
@@ -108,6 +153,9 @@ template <typename T> struct BindStageResult {
   FormatKind BoundFormat = FormatKind::CSR;
   std::string KernelName;
   double Seconds = 0.0;
+  /// The ladder rung the bind itself had to take (None, BasicKernel, or
+  /// ReferenceCsr — binding never reports CandidateDropped).
+  DegradationLevel Degradation = DegradationLevel::None;
 };
 
 /// Stage 1: Table-2 feature extraction (paper Section 6's two-step split).

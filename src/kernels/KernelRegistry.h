@@ -124,6 +124,13 @@ template <typename T> struct KernelTable {
 /// constructed once on first use.
 template <typename T> const KernelTable<T> &kernelTable();
 
+/// \returns the basic (strategy-free) CSR kernel, index 0 of the CSR list.
+/// This is the degradation ladder's BasicKernel rung: it has no structural
+/// preconditions and works on any validated CSR matrix.
+template <typename T> const Kernel<CsrKernelFn<T>> &basicCsrKernel() {
+  return kernelTable<T>().Csr.front();
+}
+
 extern template const KernelTable<float> &kernelTable<float>();
 extern template const KernelTable<double> &kernelTable<double>();
 

@@ -92,9 +92,13 @@ ScoreboardResult smat::runScoreboard(const std::vector<KernelMeasurement> &Table
 }
 
 template <typename T>
-KernelSelection smat::searchOptimalKernels(double MinSeconds) {
+KernelSelection smat::searchOptimalKernels(double MinSeconds,
+                                           double BudgetSeconds) {
   KernelSelection Selection;
   const KernelTable<T> &Kernels = kernelTable<T>();
+  // Split the overall budget evenly across the five per-format searches so a
+  // slow early format cannot starve the later ones completely.
+  double FormatBudget = BudgetSeconds > 0.0 ? BudgetSeconds / NumFormats : 0.0;
 
   // Format-friendly probe structures, all sized to overflow L2 a little so
   // the memory system participates in the measurement.
@@ -119,7 +123,7 @@ KernelSelection smat::searchOptimalKernels(double MinSeconds) {
 
   auto Pick = [&](FormatKind Kind, auto &KernelList, const auto &Probe) {
     auto Measurements =
-        measureKernelTable<T>(KernelList, Probe, MinSeconds);
+        measureKernelTable<T>(KernelList, Probe, MinSeconds, FormatBudget);
     ScoreboardResult Result = runScoreboard(Measurements);
     int Idx = static_cast<int>(Kind);
     Selection.BestKernel[Idx] = Result.BestIndex;
@@ -135,5 +139,5 @@ KernelSelection smat::searchOptimalKernels(double MinSeconds) {
   return Selection;
 }
 
-template KernelSelection smat::searchOptimalKernels<float>(double);
-template KernelSelection smat::searchOptimalKernels<double>(double);
+template KernelSelection smat::searchOptimalKernels<float>(double, double);
+template KernelSelection smat::searchOptimalKernels<double>(double, double);

@@ -56,15 +56,22 @@ ScoreboardResult runScoreboard(const std::vector<KernelMeasurement> &Table,
 /// Measures every kernel of one format on one matrix and returns the
 /// performance record table. MatrixT/FnT pairs are (CsrMatrix, CsrKernelFn)
 /// and so on.
+///
+/// Resilience: a kernel that throws during measurement is recorded at zero
+/// GFLOPS (never selectable) instead of aborting the search, and once
+/// \p BudgetSeconds (0 = unlimited) of wall clock is spent the remaining
+/// kernels are recorded unmeasured at zero GFLOPS. Indices always stay
+/// aligned with the kernel list.
 template <typename T, typename MatrixT, typename FnT>
 std::vector<KernelMeasurement>
 measureKernelTable(const std::vector<Kernel<FnT>> &Kernels, const MatrixT &A,
-                   double MinSeconds = 2e-3) {
+                   double MinSeconds = 2e-3, double BudgetSeconds = 0.0) {
   AlignedVector<T> X(static_cast<std::size_t>(A.NumCols), T(1));
   AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows), T(0));
   for (std::size_t I = 0; I != X.size(); ++I)
     X[I] = T(0.01) * static_cast<T>(I % 100) - T(0.5);
 
+  WallTimer Budget;
   std::vector<KernelMeasurement> Table;
   Table.reserve(Kernels.size());
   for (const Kernel<FnT> &K : Kernels) {
@@ -75,11 +82,24 @@ measureKernelTable(const std::vector<Kernel<FnT>> &Kernels, const MatrixT &A,
       Table.push_back({K.Name, K.Flags, 0.0});
       continue;
     }
-    double Seconds = measureSecondsPerCall(
-        [&] { K.Fn(A, X.data(), Y.data()); }, MinSeconds);
-    Table.push_back({K.Name, K.Flags,
-                     spmvGflops(static_cast<std::uint64_t>(A.nnz()),
-                                Seconds)});
+    if (BudgetSeconds > 0.0 && Budget.seconds() >= BudgetSeconds) {
+      Table.push_back({K.Name, K.Flags, 0.0});
+      continue;
+    }
+    try {
+      double Seconds = measureSecondsPerCall(
+          [&] {
+            fault::injectKernelFault("scoreboard.kernel");
+            K.Fn(A, X.data(), Y.data());
+          },
+          MinSeconds);
+      Table.push_back({K.Name, K.Flags,
+                       spmvGflops(static_cast<std::uint64_t>(A.nnz()),
+                                  Seconds)});
+    } catch (...) {
+      // A throwing kernel scores zero; the scoreboard will not pick it.
+      Table.push_back({K.Name, K.Flags, 0.0});
+    }
   }
   return Table;
 }
@@ -93,12 +113,15 @@ struct KernelSelection {
 /// Runs the full off-line kernel search: builds one format-friendly probe
 /// matrix per format, measures every implementation, and applies the
 /// scoreboard. Deterministic probes; \p MinSeconds controls measurement
-/// cost.
+/// cost. \p BudgetSeconds (0 = unlimited) bounds the whole search: the
+/// budget is split evenly across the five formats, and a format whose share
+/// expires keeps its basic kernel.
 template <typename T>
-KernelSelection searchOptimalKernels(double MinSeconds = 2e-3);
+KernelSelection searchOptimalKernels(double MinSeconds = 2e-3,
+                                     double BudgetSeconds = 0.0);
 
-extern template KernelSelection searchOptimalKernels<float>(double);
-extern template KernelSelection searchOptimalKernels<double>(double);
+extern template KernelSelection searchOptimalKernels<float>(double, double);
+extern template KernelSelection searchOptimalKernels<double>(double, double);
 
 } // namespace smat
 

@@ -22,6 +22,7 @@
 #include "matrix/DiaMatrix.h"
 #include "matrix/EllMatrix.h"
 #include "matrix/Validate.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 #include <limits>
@@ -89,6 +90,7 @@ CsrMatrix<T> csrFromTriplets(index_t NumRows, index_t NumCols,
 /// holds for every COO matrix this function produces.
 template <typename T> CooMatrix<T> csrToCoo(const CsrMatrix<T> &A) {
   assert(A.isValid() && "csrToCoo requires a structurally valid CSR matrix");
+  fault::injectAllocFailure("convert.coo.alloc");
   CooMatrix<T> B;
   B.NumRows = A.NumRows;
   B.NumCols = A.NumCols;
@@ -192,6 +194,9 @@ bool csrToDia(const CsrMatrix<T> &A, DiaMatrix<T> &B,
   if (MaxFillRatio > 0 && A.nnz() > 0 &&
       Stored > MaxFillRatio * static_cast<double>(A.nnz()))
     return false;
+  if (fault::injectFailure("convert.dia.cap"))
+    return false;
+  fault::injectAllocFailure("convert.dia.alloc");
 
   B = DiaMatrix<T>();
   B.NumRows = A.NumRows;
@@ -237,6 +242,9 @@ bool csrToEll(const CsrMatrix<T> &A, EllMatrix<T> &B,
   if (MaxFillRatio > 0 && A.nnz() > 0 &&
       Stored > MaxFillRatio * static_cast<double>(A.nnz()))
     return false;
+  if (fault::injectFailure("convert.ell.cap"))
+    return false;
+  fault::injectAllocFailure("convert.ell.alloc");
 
   B = EllMatrix<T>();
   B.NumRows = A.NumRows;
@@ -373,6 +381,9 @@ bool csrToBsr(const CsrMatrix<T> &A, BsrMatrix<T> &B, index_t BlockSize,
   if (MaxFillRatio > 0 && A.nnz() > 0 &&
       Stored > MaxFillRatio * static_cast<double>(A.nnz()))
     return false;
+  if (fault::injectFailure("convert.bsr.cap"))
+    return false;
+  fault::injectAllocFailure("convert.bsr.alloc");
 
   B = BsrMatrix<T>();
   B.NumRows = A.NumRows;

@@ -1,0 +1,147 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ---------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#if SMAT_FAULT_INJECTION
+
+#include "support/Rng.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <new>
+#include <set>
+
+namespace smat {
+namespace fault {
+namespace {
+
+/// All mutable injection state lives behind one mutex; the hooks only take
+/// it when Armed is set, so an unconfigured fault-injection build still has
+/// a cheap (one relaxed atomic load) fast path.
+struct InjectionState {
+  std::mutex Lock;
+  FaultConfig Config;
+  Rng Generator{1};
+  std::set<std::string> Sites;
+  std::uint64_t Injected = 0;
+};
+
+InjectionState &state() {
+  static InjectionState S;
+  return S;
+}
+
+std::atomic<bool> Armed{false};
+
+/// Decides whether the hook at \p Site fires under the current schedule and
+/// does the shared bookkeeping (site recording, injection counting).
+/// Callers hold no lock; this takes it.
+bool shouldFire(const char *Site) {
+  if (!Armed.load(std::memory_order_relaxed))
+    return false;
+  InjectionState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  if (S.Config.RecordSites)
+    S.Sites.insert(Site);
+  bool Fire = false;
+  for (const std::string &Always : S.Config.AlwaysSites) {
+    if (Always == Site) {
+      Fire = true;
+      break;
+    }
+  }
+  if (!Fire && S.Config.Probability > 0.0)
+    Fire = S.Generator.uniform() < S.Config.Probability;
+  if (Fire)
+    ++S.Injected;
+  return Fire;
+}
+
+/// Burns real wall-clock time; sleep would be invisible to a busy-wait
+/// watchdog test under heavy sanitizer scheduling, and real tuning stalls
+/// (a loaded core) are busy too.
+void busyWait(double Seconds) {
+  if (Seconds <= 0.0)
+    return;
+  WallTimer Timer;
+  while (Timer.seconds() < Seconds) {
+  }
+}
+
+} // namespace
+
+void configure(const FaultConfig &Config) {
+  InjectionState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  S.Config = Config;
+  S.Generator = Rng(Config.Seed);
+  S.Sites.clear();
+  S.Injected = 0;
+  Armed.store(Config.Probability > 0.0 || !Config.AlwaysSites.empty() ||
+                  Config.RecordSites,
+              std::memory_order_relaxed);
+}
+
+void reset() {
+  InjectionState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  S.Config = FaultConfig();
+  S.Config.Probability = 0.0;
+  S.Config.AlwaysSites.clear();
+  S.Config.RecordSites = false;
+  S.Generator = Rng(1);
+  S.Sites.clear();
+  S.Injected = 0;
+  Armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t injectedCount() {
+  InjectionState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  return S.Injected;
+}
+
+std::vector<std::string> observedSites() {
+  InjectionState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  return std::vector<std::string>(S.Sites.begin(), S.Sites.end());
+}
+
+bool injectFailure(const char *Site) { return shouldFire(Site); }
+
+void injectAllocFailure(const char *Site) {
+  if (shouldFire(Site))
+    throw std::bad_alloc();
+}
+
+void injectKernelFault(const char *Site) {
+  if (shouldFire(Site))
+    throw InjectedFault(Site);
+}
+
+double injectTimerSample(const char *Site, double Seconds) {
+  if (!shouldFire(Site))
+    return Seconds;
+  double NoiseFactor = 1.0;
+  double Stall = 0.0;
+  {
+    InjectionState &S = state();
+    std::lock_guard<std::mutex> Guard(S.Lock);
+    if (S.Config.TimerNoiseFactor > 0.0)
+      NoiseFactor = 1.0 + S.Config.TimerNoiseFactor * S.Generator.uniform();
+    Stall = S.Config.StallSeconds;
+  }
+  busyWait(Stall);
+  return Seconds * NoiseFactor + Stall;
+}
+
+} // namespace fault
+} // namespace smat
+
+#endif // SMAT_FAULT_INJECTION

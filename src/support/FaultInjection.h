@@ -1,0 +1,138 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, site-keyed fault-injection framework for the resilience
+/// tests (DESIGN.md section 12). Production code marks its failure-prone
+/// points with named *sites* — conversion allocations, conversion-cap
+/// checks, kernel invocations during measurement, timing samples — by
+/// calling the hooks below. A test arms a seeded `FaultConfig`, and the
+/// hooks then fail deterministically: an armed allocation site throws
+/// `std::bad_alloc`, an armed kernel site throws `InjectedFault`, an armed
+/// cap site reports a forced rejection, and an armed timer site perturbs
+/// (and optionally stalls) the measured sample.
+///
+/// The whole framework compiles in only under `SMAT_FAULT_INJECTION`
+/// (CMake option of the same name). In the default build every hook is an
+/// inline no-op that constant-folds away, so hot paths pay nothing.
+///
+/// Typical test usage:
+/// \code
+///   fault::FaultConfig Cfg;
+///   Cfg.RecordSites = true;                 // discovery pass
+///   fault::configure(Cfg);
+///   (void)Tuner.tryTune(A, Opts);
+///   for (const std::string &Site : fault::observedSites()) {
+///     fault::FaultConfig Hit;
+///     Hit.AlwaysSites = {Site};             // fail this site every time
+///     fault::configure(Hit);
+///     auto Result = Tuner.tryTune(A, Opts); // must degrade, never fail
+///     ...
+///   }
+///   fault::reset();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_SUPPORT_FAULTINJECTION_H
+#define SMAT_SUPPORT_FAULTINJECTION_H
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <vector>
+
+namespace smat {
+namespace fault {
+
+/// Thrown by an armed kernel site to simulate an exception escaping a
+/// kernel or pipeline stage mid-tune.
+class InjectedFault : public std::exception {
+public:
+  explicit InjectedFault(const char *Site)
+      : Message(std::string("injected fault at site '") + Site + "'") {}
+
+  const char *what() const noexcept override { return Message.c_str(); }
+
+private:
+  std::string Message;
+};
+
+/// One deterministic injection schedule. A hook at site S "fires" when S is
+/// listed in AlwaysSites, or when the seeded generator draws below
+/// Probability. All decisions derive from Seed, so a schedule replays
+/// identically across runs.
+struct FaultConfig {
+  std::uint64_t Seed = 1;
+  /// Chance in [0, 1] that any hook invocation fires.
+  double Probability = 0.0;
+  /// Sites that fire on every invocation (exact string match).
+  std::vector<std::string> AlwaysSites;
+  /// Observe and record visited sites without firing anything; used by the
+  /// discovery pass of the every-site sweep.
+  bool RecordSites = false;
+  /// When a timer site fires, the sample is scaled by a factor drawn from
+  /// [1, 1 + TimerNoiseFactor] (simulates a loaded machine's jitter).
+  double TimerNoiseFactor = 1.0;
+  /// When a timer site fires, this many seconds of real wall-clock stall
+  /// are injected (busy-wait) and added to the sample — exercises the
+  /// measurement watchdog's budget and rep caps.
+  double StallSeconds = 0.0;
+};
+
+#if SMAT_FAULT_INJECTION
+
+/// True in builds that compile the hooks in.
+inline constexpr bool CompiledIn = true;
+
+/// Installs \p Config and arms the hooks. Thread-safe.
+void configure(const FaultConfig &Config);
+
+/// Disarms every hook and clears counters and the observed-site record.
+void reset();
+
+/// Total number of faults injected since the last configure()/reset().
+std::uint64_t injectedCount();
+
+/// Sites visited (armed runs only), sorted and deduplicated.
+std::vector<std::string> observedSites();
+
+/// Cap-style hook: \returns true when the site fires, which the caller
+/// treats as a forced guard rejection (e.g. a conversion cap hit).
+bool injectFailure(const char *Site);
+
+/// Allocation hook: throws std::bad_alloc when the site fires.
+void injectAllocFailure(const char *Site);
+
+/// Kernel hook: throws InjectedFault when the site fires.
+void injectKernelFault(const char *Site);
+
+/// Timer hook: \returns \p Seconds, perturbed (noise factor, stall) when
+/// the site fires. The stall busy-waits real wall-clock time so budget
+/// watchdogs observe it.
+double injectTimerSample(const char *Site, double Seconds);
+
+#else
+
+inline constexpr bool CompiledIn = false;
+
+inline void configure(const FaultConfig &) {}
+inline void reset() {}
+inline std::uint64_t injectedCount() { return 0; }
+inline std::vector<std::string> observedSites() { return {}; }
+inline bool injectFailure(const char *) { return false; }
+inline void injectAllocFailure(const char *) {}
+inline void injectKernelFault(const char *) {}
+inline double injectTimerSample(const char *, double Seconds) {
+  return Seconds;
+}
+
+#endif // SMAT_FAULT_INJECTION
+
+} // namespace fault
+} // namespace smat
+
+#endif // SMAT_SUPPORT_FAULTINJECTION_H

@@ -13,9 +13,11 @@
 #ifndef SMAT_SUPPORT_STATS_H
 #define SMAT_SUPPORT_STATS_H
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace smat {
@@ -52,6 +54,39 @@ inline double geometricMean(const std::vector<double> &Xs) {
     LogSum += std::log(X);
   }
   return std::exp(LogSum / static_cast<double>(Xs.size()));
+}
+
+/// Smallest value; 0 for an empty range.
+inline double minValue(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Min = Xs.front();
+  for (double X : Xs)
+    Min = std::min(Min, X);
+  return Min;
+}
+
+/// Largest value; 0 for an empty range.
+inline double maxValue(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Max = Xs.front();
+  for (double X : Xs)
+    Max = std::max(Max, X);
+  return Max;
+}
+
+/// Relative spread (max - min) / min of a sample set; used by the robust
+/// measurement loop to decide whether timing samples agree well enough to
+/// trust. \returns 0 for fewer than two samples and +inf when the smallest
+/// sample is not strictly positive (degenerate timings are never trusted).
+inline double relativeSpread(const std::vector<double> &Xs) {
+  if (Xs.size() < 2)
+    return 0.0;
+  double Min = minValue(Xs);
+  if (Min <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  return (maxValue(Xs) - Min) / Min;
 }
 
 /// Ordinary least-squares fit Y = Slope * X + Intercept.

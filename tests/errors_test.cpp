@@ -27,6 +27,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -567,7 +569,20 @@ CsrMatrix<double> breakCsr(std::uint64_t Seed, int Breaker) {
 
 } // namespace
 
-class MalformedInputFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+class MalformedInputFuzz : public ::testing::TestWithParam<std::uint64_t> {
+protected:
+  // Any assertion failure below reports the seed and the exact rerun
+  // command; the trace lives as a member so it covers the whole test body.
+  void SetUp() override {
+    Trace = std::make_unique<::testing::ScopedTrace>(
+        __FILE__, __LINE__,
+        "fuzz seed " + std::to_string(GetParam()) + " (rerun with " +
+            "SMAT_FUZZ_SEED=" + std::to_string(GetParam()) + ")");
+  }
+
+private:
+  std::unique_ptr<::testing::ScopedTrace> Trace;
+};
 
 TEST_P(MalformedInputFuzz, EveryBoundaryRejectsBrokenCsr) {
   for (int Breaker = 0; Breaker < NumCsrBreakers; ++Breaker) {
@@ -721,5 +736,27 @@ TEST_P(MalformedInputFuzz, ValidInputsKeepIdenticalTunedResults) {
   EXPECT_EQ(Y0, Y2);
 }
 
+namespace {
+
+/// The eight fuzz seeds, normally 1..8. Setting SMAT_FUZZ_SEED=<base> shifts
+/// the window to base..base+7 so CI (or a developer chasing a failure) can
+/// replay or widen the campaign without recompiling. Failures print their
+/// seed via SCOPED_TRACE in the fixture below.
+std::vector<std::uint64_t> fuzzSeeds() {
+  std::uint64_t Base = 1;
+  if (const char *Env = std::getenv("SMAT_FUZZ_SEED")) {
+    char *End = nullptr;
+    unsigned long long Parsed = std::strtoull(Env, &End, 10);
+    if (End && *End == '\0' && End != Env)
+      Base = static_cast<std::uint64_t>(Parsed);
+  }
+  std::vector<std::uint64_t> Seeds(8);
+  for (std::size_t I = 0; I != Seeds.size(); ++I)
+    Seeds[I] = Base + I;
+  return Seeds;
+}
+
+} // namespace
+
 INSTANTIATE_TEST_SUITE_P(FuzzSeeds, MalformedInputFuzz,
-                         ::testing::Range<std::uint64_t>(1, 9));
+                         ::testing::ValuesIn(fuzzSeeds()));
