@@ -1,0 +1,202 @@
+//===- bench/perf_suite.cpp - Perf-regression suite (CI gate) -------------===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The perf-regression suite behind the CI bench-smoke job: a pinned, seeded
+// corpus slice (balanced FEM, skewed power-law, banded, rectangular) is run
+// through three roles per matrix --
+//
+//   basic      the strategy-free csr_basic kernel (the overhead unit),
+//   reference  the best of the fixed-interface ref library's CSR/COO/DIA
+//              entry points (the MKL stand-in, exactly as fig10 scores it),
+//   tuned      the full Smat tune + bound operator,
+//
+// -- each measured with the robust (min-of-k, spread-checked) timer, and the
+// results are written as JSON in the stable schema consumed by
+// scripts/bench_compare.py:
+//
+//   {"schema": "smat-bench-v1",
+//    "results": [{"matrix", "role", "format", "kernel",
+//                 "gflops", "tune_ms"}, ...]}
+//
+// Flags: --smoke  tiny matrices + short samples (CI shared runners);
+//        --out F  output path (default BENCH_PR4.json).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "matrix/Generators.h"
+#include "ref/RefSpmv.h"
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace smat;
+using namespace smat::bench;
+
+namespace {
+
+struct SuiteCase {
+  std::string Name;
+  CsrMatrix<double> A;
+};
+
+/// The pinned corpus slice. Seeds are fixed so two runs of the same binary
+/// measure identical structures; --smoke shrinks every case so the whole
+/// suite finishes in seconds on a shared runner.
+std::vector<SuiteCase> suiteCorpus(bool Smoke) {
+  std::vector<SuiteCase> Cases;
+  if (Smoke) {
+    Cases.push_back({"fem_balanced", blockFem(40, 8, 2.0, 101)});
+    Cases.push_back({"powerlaw_skew", powerLawGraph(2000, 1.9, 1, 400, 102)});
+    Cases.push_back({"banded_diag", banded(4000, 3)});
+    Cases.push_back({"rect_lp", lpRectangular(1500, 3000, 8, 103)});
+  } else {
+    Cases.push_back({"fem_balanced", blockFem(300, 24, 4.0, 101)});
+    Cases.push_back({"powerlaw_skew", powerLawGraph(60000, 1.8, 1, 5000, 102)});
+    Cases.push_back({"banded_diag", banded(120000, 6)});
+    Cases.push_back({"rect_lp", lpRectangular(40000, 80000, 12, 103)});
+  }
+  for (SuiteCase &C : Cases)
+    randomizeValues(C.A, 7);
+  return Cases;
+}
+
+struct BenchRecord {
+  std::string Matrix;
+  std::string Role;
+  std::string Format;
+  std::string Kernel;
+  double Gflops = 0.0;
+  double TuneMs = 0.0;
+};
+
+/// Robust min-of-k GFLOPS of one y := A*x callable.
+template <typename Fn>
+double robustGflops(std::uint64_t Nnz, double MinSeconds, Fn &&RunOnce) {
+  RobustMeasureOptions Opts;
+  Opts.MinSeconds = MinSeconds;
+  RobustMeasureResult M = robustMeasureSecondsPerCall(RunOnce, Opts);
+  return spmvGflops(Nnz, M.SecondsPerCall);
+}
+
+void appendRoles(std::vector<BenchRecord> &Records, const Smat<double> &Tuner,
+                 const SuiteCase &Case, double MinSeconds) {
+  const CsrMatrix<double> &A = Case.A;
+  std::uint64_t Nnz = static_cast<std::uint64_t>(A.nnz());
+  AlignedVector<double> X(static_cast<std::size_t>(A.NumCols), 1.0);
+  AlignedVector<double> Y(static_cast<std::size_t>(A.NumRows), 0.0);
+  for (std::size_t I = 0; I != X.size(); ++I)
+    X[I] = 0.01 * static_cast<double>(I % 100) - 0.5;
+
+  // Role 1: the strategy-free basic CSR kernel.
+  const KernelTable<double> &Kernels = kernelTable<double>();
+  Records.push_back(
+      {Case.Name, "basic", "CSR", Kernels.Csr[0].Name,
+       robustGflops(Nnz, MinSeconds,
+                    [&] { Kernels.Csr[0].Fn(A, X.data(), Y.data()); }),
+       0.0});
+
+  // Role 2: best of the fixed-interface reference library (MKL stand-in).
+  {
+    double Best = robustGflops(
+        Nnz, MinSeconds, [&] { refCsrSpmv(A, X.data(), Y.data()); });
+    std::string BestFmt = "CSR", BestKernel = "ref_csr";
+    CooMatrix<double> Coo = csrToCoo(A);
+    double CooG = robustGflops(Nnz, MinSeconds,
+                               [&] { refCooSpmv(Coo, X.data(), Y.data()); });
+    if (CooG > Best) {
+      Best = CooG;
+      BestFmt = "COO";
+      BestKernel = "ref_coo";
+    }
+    DiaMatrix<double> Dia;
+    if (csrToDia(A, Dia)) {
+      double DiaG = robustGflops(Nnz, MinSeconds,
+                                 [&] { refDiaSpmv(Dia, X.data(), Y.data()); });
+      if (DiaG > Best) {
+        Best = DiaG;
+        BestFmt = "DIA";
+        BestKernel = "ref_dia";
+      }
+    }
+    Records.push_back({Case.Name, "reference", BestFmt, BestKernel, Best, 0.0});
+  }
+
+  // Role 3: the tuned operator, with the tune cost reported alongside so
+  // bench_compare.py can flag tune-time blowups separately from kernel
+  // regressions.
+  {
+    TunedSpmv<double> Op = Tuner.tune(A);
+    double Gflops = robustGflops(Nnz, MinSeconds,
+                                 [&] { Op.apply(X.data(), Y.data()); });
+    Records.push_back({Case.Name, "tuned", std::string(formatName(Op.format())),
+                       Op.kernelName(), Gflops,
+                       Op.report().TuneSeconds * 1e3});
+  }
+}
+
+void writeJson(const std::string &Path, const std::vector<BenchRecord> &Records,
+               bool Smoke) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "perf_suite: cannot write %s\n", Path.c_str());
+    std::exit(1);
+  }
+  Out << "{\n  \"schema\": \"smat-bench-v1\",\n";
+  Out << "  \"mode\": \"" << (Smoke ? "smoke" : "full") << "\",\n";
+  Out << "  \"results\": [\n";
+  for (std::size_t I = 0; I != Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    Out << formatString("    {\"matrix\": \"%s\", \"role\": \"%s\", "
+                        "\"format\": \"%s\", \"kernel\": \"%s\", "
+                        "\"gflops\": %.6f, \"tune_ms\": %.6f}%s\n",
+                        R.Matrix.c_str(), R.Role.c_str(), R.Format.c_str(),
+                        R.Kernel.c_str(), R.Gflops, R.TuneMs,
+                        I + 1 == Records.size() ? "" : ",");
+  }
+  Out << "  ]\n}\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  std::string OutPath = "BENCH_PR4.json";
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--smoke") == 0) {
+      Smoke = true;
+    } else if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc) {
+      OutPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: perf_suite [--smoke] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  std::printf("=== perf suite (%s) ===\n", Smoke ? "smoke" : "full");
+  LearningModel Model = getSharedModel<double>("double");
+  const Smat<double> Tuner(Model);
+  double MinSeconds = Smoke ? 2e-3 : 2e-2;
+
+  std::vector<BenchRecord> Records;
+  AsciiTable Table({"matrix", "role", "format", "kernel", "GFLOPS", "tune ms"});
+  for (const SuiteCase &Case : suiteCorpus(Smoke)) {
+    std::size_t First = Records.size();
+    appendRoles(Records, Tuner, Case, MinSeconds);
+    for (std::size_t I = First; I != Records.size(); ++I)
+      Table.addRow({Records[I].Matrix, Records[I].Role, Records[I].Format,
+                    Records[I].Kernel, formatString("%.3f", Records[I].Gflops),
+                    formatString("%.3f", Records[I].TuneMs)});
+  }
+  Table.print();
+
+  writeJson(OutPath, Records, Smoke);
+  std::printf("wrote %s (%zu records)\n", OutPath.c_str(), Records.size());
+  return 0;
+}

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two perf_suite BENCH JSON files and fail on regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [options]
+
+Records are matched on (matrix, role). For each pair the GFLOPS ratio
+current/baseline is computed; a drop beyond --max-regression (default 10%)
+fails the comparison. The tuned role's tune_ms is checked separately: a
+blowup beyond --max-tune-blowup (default 3x) fails even under --report-only,
+because tune-time explosions are robustly detectable on noisy shared runners
+while raw GFLOPS are not.
+
+Exit codes: 0 ok, 1 regression found, 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "smat-bench-v1":
+        print(f"bench_compare: {path}: unexpected schema "
+              f"{doc.get('schema')!r}", file=sys.stderr)
+        sys.exit(2)
+    records = {}
+    for r in doc.get("results", []):
+        for key in ("matrix", "role", "format", "kernel", "gflops", "tune_ms"):
+            if key not in r:
+                print(f"bench_compare: {path}: record missing {key!r}: {r}",
+                      file=sys.stderr)
+                sys.exit(2)
+        records[(r["matrix"], r["role"])] = r
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regression", type=float, default=0.10,
+                    help="maximal tolerated fractional GFLOPS drop "
+                         "(default 0.10 = 10%%)")
+    ap.add_argument("--max-tune-blowup", type=float, default=3.0,
+                    help="maximal tolerated tune_ms ratio (default 3x)")
+    ap.add_argument("--min-tune-ms", type=float, default=50.0,
+                    help="tune_ms floor below which the blowup check is "
+                         "skipped (millisecond tunes are noise-dominated; "
+                         "default 50)")
+    ap.add_argument("--report-only", action="store_true",
+                    help="report GFLOPS regressions without failing on them "
+                         "(shared-runner mode); tune-time blowups still fail")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    gflops_failures = []
+    tune_failures = []
+    for key in sorted(base):
+        if key not in cur:
+            print(f"MISSING  {key[0]}/{key[1]}: in baseline but not current")
+            gflops_failures.append(key)
+            continue
+        b, c = base[key], cur[key]
+        if b["gflops"] > 0:
+            ratio = c["gflops"] / b["gflops"]
+            drop = 1.0 - ratio
+            status = "OK"
+            if drop > args.max_regression:
+                status = "REGRESS"
+                gflops_failures.append(key)
+            print(f"{status:8} {key[0]}/{key[1]}: "
+                  f"{b['gflops']:.3f} -> {c['gflops']:.3f} GFLOPS "
+                  f"({ratio:.2%})")
+        if (key[1] == "tuned" and b["tune_ms"] > 0
+                and c["tune_ms"] > args.min_tune_ms):
+            tune_ratio = c["tune_ms"] / b["tune_ms"]
+            if tune_ratio > args.max_tune_blowup:
+                tune_failures.append(key)
+                print(f"TUNEBLOW {key[0]}: tune {b['tune_ms']:.3f} -> "
+                      f"{c['tune_ms']:.3f} ms ({tune_ratio:.2f}x)")
+
+    for key in sorted(set(cur) - set(base)):
+        print(f"NEW      {key[0]}/{key[1]}: not in baseline (ignored)")
+
+    if tune_failures:
+        print(f"bench_compare: FAIL: {len(tune_failures)} tune-time "
+              f"blowup(s) beyond {args.max_tune_blowup:.1f}x")
+        return 1
+    if gflops_failures:
+        msg = (f"{len(gflops_failures)} GFLOPS regression(s) beyond "
+               f"{args.max_regression:.0%}")
+        if args.report_only:
+            print(f"bench_compare: WARN (report-only): {msg}")
+            return 0
+        print(f"bench_compare: FAIL: {msg}")
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

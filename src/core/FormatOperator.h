@@ -197,13 +197,17 @@ private:
 /// even when the model predicted the format confidently; the fallback is
 /// always CSR (honoring \p Storage). \p MoveSource, when non-null, is the
 /// same matrix as \p A but mutable: an Owned CSR bind moves its storage
-/// instead of copying (the rvalue tune path).
+/// instead of copying (the rvalue tune path). \p CsrKernelOverride, when in
+/// range, replaces the scoreboard's general CSR pick — the skew-aware bind
+/// path passes Sel.csrKernelFor(rowCv) here so heavily skewed matrices get
+/// the load-balanced kernel.
 template <typename T>
 std::unique_ptr<FormatOperator<T>>
 bindFormatOperator(const CsrMatrix<T> &A, FormatKind Requested,
                    const KernelSelection &Sel,
                    CsrStorage Storage = CsrStorage::Borrowed,
-                   CsrMatrix<T> *MoveSource = nullptr) {
+                   CsrMatrix<T> *MoveSource = nullptr,
+                   int CsrKernelOverride = -1) {
   const KernelTable<T> &Kernels = kernelTable<T>();
   auto Best = [&Sel](FormatKind Kind) {
     return static_cast<std::size_t>(Sel.BestKernel[static_cast<int>(Kind)]);
@@ -233,7 +237,13 @@ bindFormatOperator(const CsrMatrix<T> &A, FormatKind Requested,
   case FormatKind::ELL: {
     EllMatrix<T> Ell;
     if (csrToEll(A, Ell)) {
-      const auto &K = Kernels.Ell[Best(FormatKind::ELL)];
+      // Same precondition contract as COO: a selected kernel that needs the
+      // RowLen sidecar (the sliced variants) falls back to the basic kernel
+      // when the converted matrix lacks it.
+      std::size_t Idx = Best(FormatKind::ELL);
+      if (!kernelPrecondsHold(Kernels.Ell[Idx].Preconds, Ell))
+        Idx = 0;
+      const auto &K = Kernels.Ell[Idx];
       return std::make_unique<EllOperator<T>>(std::move(Ell), K.Fn, K.Name);
     }
     break;
@@ -251,7 +261,11 @@ bindFormatOperator(const CsrMatrix<T> &A, FormatKind Requested,
     break;
   }
 
-  const auto &K = Kernels.Csr[Best(FormatKind::CSR)];
+  std::size_t CsrIdx = Best(FormatKind::CSR);
+  if (CsrKernelOverride >= 0 &&
+      static_cast<std::size_t>(CsrKernelOverride) < Kernels.Csr.size())
+    CsrIdx = static_cast<std::size_t>(CsrKernelOverride);
+  const auto &K = Kernels.Csr[CsrIdx];
   if (Storage == CsrStorage::Owned) {
     // Allocate the node (the only throwing step) with an empty matrix, then
     // adopt the real storage noexcept: if the allocation throws, a

@@ -33,6 +33,13 @@ std::string smat::serializeModel(const LearningModel &Model) {
         std::string(formatName(static_cast<FormatKind>(K))).c_str(),
         Model.Kernels.BestKernel[static_cast<std::size_t>(K)],
         Model.Kernels.BestKernelName[static_cast<std::size_t>(K)].c_str());
+  // Optional skew-pass CSR kernel (v1-compatible: old parsers that reach the
+  // ruleset reader treat an unknown leading line as ruleset text, and the
+  // line is only written when the search actually produced a skew pick).
+  if (Model.Kernels.BestSkewCsrKernel >= 0)
+    Out += formatString("kernel_skew CSR %d %s\n",
+                        Model.Kernels.BestSkewCsrKernel,
+                        Model.Kernels.BestSkewCsrKernelName.c_str());
   Out += serializeRuleSet(Model.Rules);
   return Out;
 }
@@ -88,10 +95,30 @@ bool smat::parseModel(const std::string &Text, LearningModel &Model,
         KernelParts[3];
   }
 
+  // Optional skew-pass CSR kernel line (absent in models trained before the
+  // load-balanced kernels existed: BestSkewCsrKernel then stays -1 and the
+  // runtime binds the general CSR pick everywhere). Lookahead: a consumed
+  // line that is not kernel_skew belongs to the ruleset.
+  std::string RulesetPrefix;
+  if (std::getline(In, Line)) {
+    auto SkewParts = splitWhitespace(Line);
+    if (SkewParts.size() == 4 && SkewParts[0] == "kernel_skew") {
+      if (SkewParts[1] != "CSR") {
+        Error = "malformed kernel_skew line: '" + Line + "'";
+        return false;
+      }
+      Model.Kernels.BestSkewCsrKernel =
+          static_cast<int>(std::strtol(SkewParts[2].c_str(), nullptr, 10));
+      Model.Kernels.BestSkewCsrKernelName = SkewParts[3];
+    } else {
+      RulesetPrefix = Line + "\n";
+    }
+  }
+
   // The remainder of the stream is the ruleset.
   std::ostringstream Rest;
   Rest << In.rdbuf();
-  if (!parseRuleSet(Rest.str(), Model.Rules, Error))
+  if (!parseRuleSet(RulesetPrefix + Rest.str(), Model.Rules, Error))
     return false;
   Model.refreshRuleMetadata();
   return true;

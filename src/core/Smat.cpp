@@ -262,7 +262,11 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
   // stage cannot fail; it reports the rung it had to take. The long-standing
   // conversion-guard fallback to CSR inside the full bind stays rung 0: the
   // report and the cache both record what was actually bound.
-  BindStageResult<T> Bound = BindStage::run(Ctx, Chosen);
+  // Features (when extraction survived) make the bind skew-aware: the CSR
+  // kernel choice follows the row-length CV even on a plan-cache hit, since
+  // the cache stores only the format and the kernel is re-bound per tune.
+  BindStageResult<T> Bound = BindStage::run(
+      Ctx, Chosen, HaveFeatures ? &Features.Features : nullptr);
   Report.ChosenFormat = Bound.BoundFormat;
   Report.KernelName = std::move(Bound.KernelName);
   Report.BindSeconds = Bound.Seconds;

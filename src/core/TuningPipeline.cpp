@@ -184,9 +184,16 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
         Model.Kernels.BestKernel[static_cast<int>(Kind)]);
   };
 
-  Consider(FormatKind::CSR, "measure.kernel.CSR", [&] {
-    Kernels.Csr[BestIdx(FormatKind::CSR)].Fn(A, X.data(), Y.data());
-  });
+  // The CSR candidate is measured with the kernel the bind would actually
+  // choose, including the skew-aware load-balanced pick for matrices with a
+  // high row-length CV — otherwise the measurement could crown CSR with a
+  // kernel the plan never binds (or vice versa).
+  std::size_t CsrIdx = static_cast<std::size_t>(
+      Model.Kernels.csrKernelFor(Features.Features.rowCv()));
+  if (CsrIdx >= Kernels.Csr.size())
+    CsrIdx = BestIdx(FormatKind::CSR);
+  Consider(FormatKind::CSR, "measure.kernel.CSR",
+           [&] { Kernels.Csr[CsrIdx].Fn(A, X.data(), Y.data()); });
   try {
     CooMatrix<T> Coo = csrToCoo(A);
     // Respect declared kernel preconditions (csrToCoo output always has
@@ -214,10 +221,16 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
   try {
     if (ellPlausible(Features.Features)) {
       EllMatrix<T> Ell;
-      if (csrToEll(A, Ell))
+      if (csrToEll(A, Ell)) {
+        // Same precondition contract as COO: a selected sliced kernel needs
+        // the RowLen sidecar or falls back to the basic kernel.
+        std::size_t EllIdx = BestIdx(FormatKind::ELL);
+        if (!kernelPrecondsHold(Kernels.Ell[EllIdx].Preconds, Ell))
+          EllIdx = 0;
         Consider(FormatKind::ELL, "measure.kernel.ELL", [&] {
-          Kernels.Ell[BestIdx(FormatKind::ELL)].Fn(Ell, X.data(), Y.data());
+          Kernels.Ell[EllIdx].Fn(Ell, X.data(), Y.data());
         });
+      }
     }
   } catch (...) {
     ++Result.DroppedCandidates;
@@ -249,16 +262,23 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
 
 template <typename T>
 BindStageResult<T> BindStage::run(const TuningContext<T> &Ctx,
-                                  FormatKind Requested) {
+                                  FormatKind Requested,
+                                  const FeatureVector *Features) {
   WallTimer Timer;
   BindStageResult<T> Result;
+
+  // Skew-aware CSR kernel choice: with features in hand, a heavily skewed
+  // row-length distribution binds the scoreboard's skew-pass pick.
+  int CsrOverride =
+      Features ? Ctx.Model.Kernels.csrKernelFor(Features->rowCv()) : -1;
 
   // Rung 0: the full bind — conversion plus the scoreboard-selected kernel
   // (with the long-standing guard fallback to CSR inside).
   try {
     fault::injectKernelFault("bind.operator");
-    Result.Op = bindFormatOperator(Ctx.A, Requested, Ctx.Model.Kernels,
-                                   Ctx.Opts.CsrMode, Ctx.MoveSource);
+    Result.Op =
+        bindFormatOperator(Ctx.A, Requested, Ctx.Model.Kernels,
+                           Ctx.Opts.CsrMode, Ctx.MoveSource, CsrOverride);
   } catch (...) {
     Result.Op = nullptr;
   }
@@ -328,8 +348,10 @@ template MeasureStageResult MeasureStage::run(const TuningContext<float> &,
 template MeasureStageResult MeasureStage::run(const TuningContext<double> &,
                                               const FeatureStageResult &,
                                               FormatKind);
-template BindStageResult<float> BindStage::run(const TuningContext<float> &,
-                                               FormatKind);
-template BindStageResult<double> BindStage::run(const TuningContext<double> &,
-                                                FormatKind);
+template BindStageResult<float>
+BindStage::run(const TuningContext<float> &, FormatKind,
+               const FeatureVector *);
+template BindStageResult<double>
+BindStage::run(const TuningContext<double> &, FormatKind,
+               const FeatureVector *);
 } // namespace smat

@@ -198,9 +198,14 @@ public:
 /// Stage 4: conversion + kernel binding through the operator layer.
 class BindStage {
 public:
+  /// \p Features, when non-null, enables skew-aware CSR kernel selection:
+  /// a row-length CV above SkewRowCvThreshold binds the scoreboard's
+  /// skew-pass pick (KernelSelection::BestSkewCsrKernel) instead of the
+  /// general CSR kernel. Null keeps the historical behavior.
   template <typename T>
   static BindStageResult<T> run(const TuningContext<T> &Ctx,
-                                FormatKind Requested);
+                                FormatKind Requested,
+                                const FeatureVector *Features = nullptr);
 };
 
 extern template FeatureStageResult
@@ -223,9 +228,11 @@ extern template MeasureStageResult
 MeasureStage::run(const TuningContext<double> &, const FeatureStageResult &,
                   FormatKind);
 extern template BindStageResult<float>
-BindStage::run(const TuningContext<float> &, FormatKind);
+BindStage::run(const TuningContext<float> &, FormatKind,
+               const FeatureVector *);
 extern template BindStageResult<double>
-BindStage::run(const TuningContext<double> &, FormatKind);
+BindStage::run(const TuningContext<double> &, FormatKind,
+               const FeatureVector *);
 
 } // namespace smat
 

@@ -69,22 +69,46 @@ FeatureVector smat::extractStructureFeatures(const CsrMatrix<T> &A) {
 
   // Single pass: per-row degrees and the per-diagonal occupancy histogram
   // (the paper counts diagonals and nonzero distribution together to avoid
-  // a second traversal).
+  // a second traversal). Matrices below ParallelConvertGrain take the serial
+  // path so small-matrix features (and the plan-cache fingerprints derived
+  // from them) stay bit-identical to the historical serial extraction.
   std::vector<index_t> DiagCount(
       static_cast<std::size_t>(A.NumRows) + static_cast<std::size_t>(A.NumCols),
       0);
   double SumDeg = 0, MaxDeg = 0;
-  for (index_t Row = 0; Row < A.NumRows; ++Row) {
-    index_t Deg = A.rowDegree(Row);
-    SumDeg += Deg;
-    MaxDeg = std::max(MaxDeg, static_cast<double>(Deg));
-    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I)
-      ++DiagCount[static_cast<std::size_t>(A.ColIdx[I]) - Row + A.NumRows - 1];
+  if (A.nnz() <= ParallelConvertGrain) {
+    for (index_t Row = 0; Row < A.NumRows; ++Row) {
+      index_t Deg = A.rowDegree(Row);
+      SumDeg += Deg;
+      MaxDeg = std::max(MaxDeg, static_cast<double>(Deg));
+      for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I)
+        ++DiagCount[static_cast<std::size_t>(A.ColIdx[I]) - Row + A.NumRows -
+                    1];
+    }
+  } else {
+    // Degree sums are integer-valued doubles (exact in any order); the
+    // histogram slots take atomic increments since distinct rows can share a
+    // diagonal.
+#pragma omp parallel for schedule(static)                                      \
+    reduction(+ : SumDeg) reduction(max : MaxDeg)
+    for (index_t Row = 0; Row < A.NumRows; ++Row) {
+      index_t Deg = A.rowDegree(Row);
+      SumDeg += Deg;
+      MaxDeg = std::max(MaxDeg, static_cast<double>(Deg));
+      for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
+        std::size_t Slot =
+            static_cast<std::size_t>(A.ColIdx[I]) - Row + A.NumRows - 1;
+#pragma omp atomic
+        ++DiagCount[Slot];
+      }
+    }
   }
   F.AverRd = SumDeg / F.M;
   F.MaxRd = MaxDeg;
 
   double VarSum = 0;
+#pragma omp parallel for schedule(static) reduction(+ : VarSum)                \
+    if (A.nnz() > ParallelConvertGrain)
   for (index_t Row = 0; Row < A.NumRows; ++Row) {
     double Delta = static_cast<double>(A.rowDegree(Row)) - F.AverRd;
     VarSum += Delta * Delta;

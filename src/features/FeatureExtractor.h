@@ -22,6 +22,7 @@
 #include "matrix/CsrMatrix.h"
 
 #include <array>
+#include <cmath>
 #include <limits>
 #include <string>
 
@@ -77,6 +78,11 @@ struct FeatureVector {
     return {M, N, Ndiags, NTdiagsRatio, Nnz, MaxRd,
             AverRd, VarRd, ErDia, ErEll, ErBsr, R};
   }
+
+  /// Row-length coefficient of variation sqrt(var_RD)/aver_RD — the
+  /// skew signal that steers kernel binding toward the load-balanced
+  /// variants (compare SkewRowCvThreshold).
+  double rowCv() const { return AverRd > 0 ? std::sqrt(VarRd) / AverRd : 0.0; }
 
   /// One-line human-readable rendering (for traces and CSV headers).
   std::string toString() const;

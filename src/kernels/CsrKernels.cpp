@@ -12,10 +12,16 @@
 #include "kernels/KernelRegistry.h"
 #include "support/Compiler.h"
 
+#include <algorithm>
 #include <type_traits>
+#include <vector>
 
 #if defined(__AVX2__) || defined(__AVX512F__)
 #include <immintrin.h>
+#endif
+
+#ifdef _OPENMP
+#include <omp.h>
 #endif
 
 namespace smat {
@@ -254,6 +260,111 @@ void csrOmpUnroll(const CsrMatrix<T> &A, const T *SMAT_RESTRICT X,
   }
 }
 
+inline int csrMaxThreads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Nnz-balanced (merge-path-style) parallel CSR. The row-split OpenMP
+/// kernels above assign rows to threads, so one dense row among short ones
+/// serializes the whole SpMV on the unlucky thread. This kernel splits the
+/// *entry* stream into equal chunks instead: chunk boundaries B_t = t*nnz/T
+/// are located in RowPtr by binary search, giving each thread a row range
+/// whose nonzero count is balanced by construction; a long row crossing a
+/// boundary is split, each trespassing thread computing a partial sum
+/// ("carry") that is combined serially after the parallel region.
+template <typename T>
+void csrNnzSplit(const CsrMatrix<T> &A, const T *SMAT_RESTRICT X,
+                 T *SMAT_RESTRICT Y) {
+  const index_t *SMAT_RESTRICT RowPtr = A.RowPtr.data();
+  const index_t *SMAT_RESTRICT Col = A.ColIdx.data();
+  const T *SMAT_RESTRICT Val = A.Values.data();
+  const index_t M = A.NumRows;
+  const std::int64_t Nnz = A.nnz();
+  if (M == 0)
+    return;
+
+  // Keep at least ~512 entries per chunk so tiny matrices do not pay the
+  // carry machinery for nothing.
+  constexpr std::int64_t MinEntriesPerChunk = 512;
+  std::int64_t Chunks =
+      std::min<std::int64_t>(csrMaxThreads(),
+                             std::max<std::int64_t>(
+                                 1, Nnz / MinEntriesPerChunk));
+  if (Chunks <= 1) {
+    for (index_t Row = 0; Row < M; ++Row) {
+      T Sum = T(0);
+      for (index_t I = RowPtr[Row], E = RowPtr[Row + 1]; I < E; ++I)
+        Sum += Val[I] * X[Col[I]];
+      Y[Row] = Sum;
+    }
+    return;
+  }
+
+  // Chunk t owns entries [Begin[t], Begin[t+1]) and rows [Split[t],
+  // Split[t+1]): Split[t] is the row containing entry Begin[t] (the last
+  // row starting at or before it when empty rows pile up on the boundary).
+  // Endpoints are forced to [0, M] so leading/trailing empty rows are owned
+  // (and zeroed) too.
+  std::vector<std::int64_t> Begin(static_cast<std::size_t>(Chunks) + 1);
+  std::vector<index_t> Split(static_cast<std::size_t>(Chunks) + 1);
+  Begin[0] = 0;
+  Split[0] = 0;
+  Begin[static_cast<std::size_t>(Chunks)] = Nnz;
+  Split[static_cast<std::size_t>(Chunks)] = M;
+  for (std::int64_t C = 1; C < Chunks; ++C) {
+    std::int64_t B = Nnz * C / Chunks;
+    Begin[static_cast<std::size_t>(C)] = B;
+    Split[static_cast<std::size_t>(C)] = static_cast<index_t>(
+        std::upper_bound(RowPtr, RowPtr + M + 1, static_cast<index_t>(B)) -
+        RowPtr - 1);
+  }
+
+  // Carry[t]: chunk t's partial sum for row Split[t+1], whose tail lies in
+  // a later chunk. At most one carry per chunk.
+  std::vector<T> Carry(static_cast<std::size_t>(Chunks), T(0));
+
+#pragma omp parallel for schedule(static, 1)
+  for (std::int64_t C = 0; C < Chunks; ++C) {
+    const std::int64_t ChunkBegin = Begin[static_cast<std::size_t>(C)];
+    const std::int64_t ChunkEnd = Begin[static_cast<std::size_t>(C) + 1];
+    const index_t RowBegin = Split[static_cast<std::size_t>(C)];
+    const index_t RowEnd = Split[static_cast<std::size_t>(C) + 1];
+
+    // Owned rows: rows strictly inside the chunk are complete; the first
+    // row's head (if any) arrives later as earlier chunks' carries.
+    for (index_t Row = RowBegin; Row < RowEnd; ++Row) {
+      std::int64_t I = std::max<std::int64_t>(RowPtr[Row], ChunkBegin);
+      const std::int64_t E = RowPtr[Row + 1];
+      T Sum = T(0);
+      for (; I < E; ++I)
+        Sum += Val[I] * X[Col[I]];
+      Y[Row] = Sum;
+    }
+
+    // Boundary row RowEnd: the head inside this chunk is a carry for the
+    // chunk that owns the row's end. The last chunk has RowEnd == M.
+    if (RowEnd < M) {
+      std::int64_t I = std::max<std::int64_t>(RowPtr[RowEnd], ChunkBegin);
+      T Sum = T(0);
+      for (; I < ChunkEnd; ++I)
+        Sum += Val[I] * X[Col[I]];
+      Carry[static_cast<std::size_t>(C)] = Sum;
+    }
+  }
+
+  // Serial carry combine: owners have already written Y[Row] = partial, so
+  // the boundary-row heads just accumulate on top.
+  for (std::int64_t C = 0; C < Chunks; ++C) {
+    const index_t Row = Split[static_cast<std::size_t>(C) + 1];
+    if (Row < M)
+      Y[Row] += Carry[static_cast<std::size_t>(C)];
+  }
+}
+
 } // namespace
 } // namespace smat
 
@@ -268,6 +379,7 @@ std::vector<smat::Kernel<smat::CsrKernelFn<T>>> smat::makeCsrKernels() {
       {"csr_omp_dynamic", OptThreads | OptDynSchedule, &csrOmpDynamic<T>},
       {"csr_omp_guided", OptThreads | OptDynSchedule, &csrOmpGuided<T>},
       {"csr_omp_unroll", OptThreads | OptUnroll, &csrOmpUnroll<T>},
+      {"csr_nnzsplit", OptThreads | OptLoadBalance, &csrNnzSplit<T>},
   };
 #if defined(__AVX2__)
   if constexpr (std::is_same_v<T, double>)

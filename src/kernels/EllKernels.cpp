@@ -13,6 +13,7 @@
 #include "kernels/KernelRegistry.h"
 #include "support/Compiler.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace smat {
@@ -138,6 +139,65 @@ void ellSimdUnroll2(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
   }
 }
 
+/// Row slice size of the sliced (load-balanced) kernels: big enough to keep
+/// the column-major access pattern streaming, small enough that one long row
+/// only pads its own slice.
+constexpr index_t EllSliceRows = 64;
+
+/// Sliced ELL (SELL-style): rows are processed in slices of EllSliceRows;
+/// each slice sweeps only up to its own longest row (from the RowLen
+/// sidecar, PrecondRowLengths) instead of the global padded Width, so a few
+/// long rows no longer drag every slice through their padding columns.
+template <typename T>
+void ellSliced(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
+               T *SMAT_RESTRICT Y) {
+  const index_t *SMAT_RESTRICT RowLen = A.RowLen.data();
+  for (index_t SliceBegin = 0; SliceBegin < A.NumRows;
+       SliceBegin += EllSliceRows) {
+    index_t SliceEnd = std::min<index_t>(SliceBegin + EllSliceRows, A.NumRows);
+    index_t SliceWidth = 0;
+    for (index_t Row = SliceBegin; Row < SliceEnd; ++Row)
+      SliceWidth = std::max(SliceWidth, RowLen[Row]);
+    for (index_t Row = SliceBegin; Row < SliceEnd; ++Row)
+      Y[Row] = T(0);
+    for (index_t C = 0; C < SliceWidth; ++C) {
+      const T *SMAT_RESTRICT Data =
+          A.Data.data() + static_cast<std::size_t>(C) * A.NumRows;
+      const index_t *SMAT_RESTRICT Idx =
+          A.Indices.data() + static_cast<std::size_t>(C) * A.NumRows;
+      for (index_t Row = SliceBegin; Row < SliceEnd; ++Row)
+        Y[Row] += Data[Row] * X[Idx[Row]];
+    }
+  }
+}
+
+/// Threaded sliced ELL: slices are independent and their work is bounded by
+/// their own width, so dynamic scheduling balances skewed row lengths.
+template <typename T>
+void ellSlicedOmp(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
+                  T *SMAT_RESTRICT Y) {
+  const index_t *SMAT_RESTRICT RowLen = A.RowLen.data();
+  index_t NumSlices = (A.NumRows + EllSliceRows - 1) / EllSliceRows;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (index_t Slice = 0; Slice < NumSlices; ++Slice) {
+    index_t SliceBegin = Slice * EllSliceRows;
+    index_t SliceEnd = std::min<index_t>(SliceBegin + EllSliceRows, A.NumRows);
+    index_t SliceWidth = 0;
+    for (index_t Row = SliceBegin; Row < SliceEnd; ++Row)
+      SliceWidth = std::max(SliceWidth, RowLen[Row]);
+    for (index_t Row = SliceBegin; Row < SliceEnd; ++Row)
+      Y[Row] = T(0);
+    for (index_t C = 0; C < SliceWidth; ++C) {
+      const T *SMAT_RESTRICT Data =
+          A.Data.data() + static_cast<std::size_t>(C) * A.NumRows;
+      const index_t *SMAT_RESTRICT Idx =
+          A.Indices.data() + static_cast<std::size_t>(C) * A.NumRows;
+      for (index_t Row = SliceBegin; Row < SliceEnd; ++Row)
+        Y[Row] += Data[Row] * X[Idx[Row]];
+    }
+  }
+}
+
 /// Column-major pass with gather prefetch on the X stream.
 template <typename T>
 void ellPrefetch(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
@@ -170,6 +230,9 @@ std::vector<smat::Kernel<smat::EllKernelFn<T>>> smat::makeEllKernels() {
       {"ell_omp_rows", OptThreads | OptInterchange, &ellOmpRows<T>},
       {"ell_simd_unroll2", OptSimd | OptUnroll, &ellSimdUnroll2<T>},
       {"ell_prefetch", OptPrefetch, &ellPrefetch<T>},
+      {"ell_sliced", OptLoadBalance, &ellSliced<T>, PrecondRowLengths},
+      {"ell_sliced_omp", OptThreads | OptLoadBalance, &ellSlicedOmp<T>,
+       PrecondRowLengths},
   };
 }
 

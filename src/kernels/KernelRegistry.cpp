@@ -26,6 +26,8 @@ const char *smat::optStrategyName(unsigned Bit) {
     return "dynsched";
   case 6:
     return "interchange";
+  case 7:
+    return "loadbalance";
   }
   smatUnreachable("invalid optimization strategy bit");
 }

@@ -41,10 +41,12 @@ enum OptStrategy : unsigned {
   OptThreads = 1u << 4,     ///< OpenMP multi-threading.
   OptDynSchedule = 1u << 5, ///< Dynamic (load-balanced) thread schedule.
   OptInterchange = 1u << 6, ///< Loop-order interchange (ELL row-major).
+  OptLoadBalance = 1u << 7, ///< Nnz-balanced work partition (merge-path CSR
+                            ///< split, sliced ELL) for skewed row lengths.
 };
 
 /// Number of distinct strategy bits above.
-inline constexpr unsigned NumOptStrategies = 7;
+inline constexpr unsigned NumOptStrategies = 8;
 
 /// Structural preconditions a kernel demands of its input beyond the
 /// format's base invariants. Declared at registration so the binding layer
@@ -54,6 +56,10 @@ enum KernelPrecond : unsigned {
   /// Row indices must be non-decreasing (COO row-split threading relies on
   /// binary search over Rows and disjoint per-thread output slices).
   PrecondMonotoneRows = 1u << 0,
+  /// ELL storage must carry the optional per-row length sidecar
+  /// (EllMatrix::RowLen); the sliced kernels use it to compute per-slice
+  /// effective widths instead of sweeping the global padded width.
+  PrecondRowLengths = 1u << 1,
 };
 
 /// Whether \p A satisfies the precondition set \p Preconds. The generic
@@ -68,6 +74,13 @@ template <typename T>
 inline bool kernelPrecondsHold(unsigned Preconds, const CooMatrix<T> &A) {
   if (Preconds & PrecondMonotoneRows)
     return A.hasMonotoneRows();
+  return true;
+}
+
+template <typename T>
+inline bool kernelPrecondsHold(unsigned Preconds, const EllMatrix<T> &A) {
+  if (Preconds & PrecondRowLengths)
+    return A.hasRowLengths();
   return true;
 }
 

@@ -96,9 +96,11 @@ KernelSelection smat::searchOptimalKernels(double MinSeconds,
                                            double BudgetSeconds) {
   KernelSelection Selection;
   const KernelTable<T> &Kernels = kernelTable<T>();
-  // Split the overall budget evenly across the five per-format searches so a
-  // slow early format cannot starve the later ones completely.
-  double FormatBudget = BudgetSeconds > 0.0 ? BudgetSeconds / NumFormats : 0.0;
+  // Split the overall budget evenly across the per-format searches (five
+  // formats plus the skewed CSR pass) so a slow early format cannot starve
+  // the later ones completely.
+  double FormatBudget =
+      BudgetSeconds > 0.0 ? BudgetSeconds / (NumFormats + 1) : 0.0;
 
   // Format-friendly probe structures, all sized to overflow L2 a little so
   // the memory system participates in the measurement.
@@ -136,6 +138,21 @@ KernelSelection smat::searchOptimalKernels(double MinSeconds,
   Pick(FormatKind::DIA, Kernels.Dia, DiaProbe);
   Pick(FormatKind::ELL, Kernels.Ell, EllProbe);
   Pick(FormatKind::BSR, Kernels.Bsr, BsrProbe);
+
+  // Second CSR pass on a heavily skewed (power-law, row CV > 2) probe: the
+  // balanced FEM probe above cannot distinguish the load-balance strategy
+  // from plain row-split threading, so the skew-bound kernel gets its own
+  // scoreboard where long rows actually exist.
+  CsrMatrix<double> SkewProbeD = powerLawGraph(30000, 1.8, 1, 3000, 46);
+  CsrMatrix<T> SkewProbe = convertValueType<T>(SkewProbeD);
+  {
+    auto Measurements =
+        measureKernelTable<T>(Kernels.Csr, SkewProbe, MinSeconds, FormatBudget);
+    ScoreboardResult Result = runScoreboard(Measurements);
+    Selection.BestSkewCsrKernel = Result.BestIndex;
+    Selection.BestSkewCsrKernelName =
+        Measurements[static_cast<std::size_t>(Result.BestIndex)].Name;
+  }
   return Selection;
 }
 

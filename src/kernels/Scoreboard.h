@@ -104,10 +104,30 @@ measureKernelTable(const std::vector<Kernel<FnT>> &Kernels, const MatrixT &A,
   return Table;
 }
 
+/// Row-length coefficient of variation (sqrt(var_RD)/aver_RD) above which
+/// the runtime considers a matrix skewed and binds the skew-selected CSR
+/// kernel (KernelSelection::BestSkewCsrKernel) instead of the general one.
+inline constexpr double SkewRowCvThreshold = 1.0;
+
 /// The per-format kernels selected by the scoreboard on this machine.
 struct KernelSelection {
   std::array<int, NumFormats> BestKernel{}; ///< Indexed by FormatKind.
   std::array<std::string, NumFormats> BestKernelName{};
+  /// CSR kernel for heavily skewed row-length distributions, selected by a
+  /// second scoreboard pass on a power-law probe (where the load-balance
+  /// strategy can actually score). -1 = not searched; the runtime then uses
+  /// BestKernel[CSR] everywhere.
+  int BestSkewCsrKernel = -1;
+  std::string BestSkewCsrKernelName;
+
+  /// The CSR kernel index to bind for a matrix with row-length coefficient
+  /// of variation \p RowCv.
+  int csrKernelFor(double RowCv) const {
+    int Base = BestKernel[static_cast<int>(FormatKind::CSR)];
+    return (BestSkewCsrKernel >= 0 && RowCv > SkewRowCvThreshold)
+               ? BestSkewCsrKernel
+               : Base;
+  }
 };
 
 /// Runs the full off-line kernel search: builds one format-friendly probe

@@ -44,6 +44,12 @@ inline constexpr index_t DefaultMaxDiags = 1024;
 /// attempting a multi-terabyte allocation.
 inline constexpr std::int64_t MaxConvertedElements = std::int64_t(1) << 31;
 
+/// Nonzero count below which the converters stay serial: forking a team for
+/// a matrix this small costs more than the scan itself, and the serial path
+/// keeps small-matrix conversions bit-for-bit reproducible across thread
+/// counts (plan-cache fingerprints hash converted features).
+inline constexpr std::int64_t ParallelConvertGrain = std::int64_t(1) << 15;
+
 /// Builds a CSR matrix from (possibly unsorted, possibly duplicated)
 /// triplets. Duplicate coordinates are summed, matching MatrixMarket
 /// semantics.
@@ -176,12 +182,26 @@ bool csrToDia(const CsrMatrix<T> &A, DiaMatrix<T> &B,
   if (!A.isValid())
     return false;
   // Mark the occupied diagonals. Offset index Col - Row + (NumRows - 1) is in
-  // [0, NumRows + NumCols - 2].
+  // [0, NumRows + NumCols - 2]. Threads may mark the same diagonal; the
+  // atomic write keeps the racing stores of the same value well-defined.
   std::vector<char> Occupied(
       static_cast<std::size_t>(A.NumRows) + A.NumCols, 0);
-  for (index_t Row = 0; Row < A.NumRows; ++Row)
-    for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I)
-      Occupied[static_cast<std::size_t>(A.ColIdx[I]) - Row + A.NumRows - 1] = 1;
+  if (A.nnz() <= ParallelConvertGrain) {
+    for (index_t Row = 0; Row < A.NumRows; ++Row)
+      for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I)
+        Occupied[static_cast<std::size_t>(A.ColIdx[I]) - Row + A.NumRows - 1] =
+            1;
+  } else {
+#pragma omp parallel for schedule(static)
+    for (index_t Row = 0; Row < A.NumRows; ++Row)
+      for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
+        char &Flag =
+            Occupied[static_cast<std::size_t>(A.ColIdx[I]) - Row + A.NumRows -
+                     1];
+#pragma omp atomic write
+        Flag = 1;
+      }
+  }
 
   index_t NumDiags = 0;
   for (char Flag : Occupied)
@@ -214,6 +234,9 @@ bool csrToDia(const CsrMatrix<T> &A, DiaMatrix<T> &B,
   B.Data.assign(static_cast<std::size_t>(NumDiags) *
                     static_cast<std::size_t>(A.NumRows),
                 T(0));
+  // Scatter fill: each entry owns a distinct (diagonal, row) slot, so rows
+  // can be processed concurrently without synchronization.
+#pragma omp parallel for schedule(static) if (A.nnz() > ParallelConvertGrain)
   for (index_t Row = 0; Row < A.NumRows; ++Row)
     for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
       index_t D = Slot[static_cast<std::size_t>(A.ColIdx[I]) - Row +
@@ -234,6 +257,8 @@ bool csrToEll(const CsrMatrix<T> &A, EllMatrix<T> &B,
   if (!A.isValid())
     return false;
   index_t Width = 0;
+#pragma omp parallel for schedule(static) reduction(max : Width)             \
+    if (A.nnz() > ParallelConvertGrain)
   for (index_t Row = 0; Row < A.NumRows; ++Row)
     Width = std::max(Width, A.rowDegree(Row));
   if (static_cast<std::int64_t>(Width) * A.NumRows > MaxConvertedElements)
@@ -255,7 +280,12 @@ bool csrToEll(const CsrMatrix<T> &A, EllMatrix<T> &B,
                          static_cast<std::size_t>(A.NumRows);
   B.Indices.assign(Elements, 0);
   B.Data.assign(Elements, T(0));
+  B.RowLen.resize(static_cast<std::size_t>(A.NumRows));
+  // Rows write disjoint column-major slots, so the packing loop is safely
+  // row-parallel.
+#pragma omp parallel for schedule(static) if (A.nnz() > ParallelConvertGrain)
   for (index_t Row = 0; Row < A.NumRows; ++Row) {
+    B.RowLen[static_cast<std::size_t>(Row)] = A.rowDegree(Row);
     index_t Packed = 0;
     for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I, ++Packed) {
       std::size_t Dst =
@@ -313,20 +343,25 @@ template <typename T>
 std::int64_t countOccupiedBlocks(const CsrMatrix<T> &A, index_t BlockSize) {
   assert(BlockSize >= 1 && "block size must be positive");
   index_t BlockCols = (A.NumCols + BlockSize - 1) / BlockSize;
-  std::int64_t Occupied = 0;
-  // Per block-row marker array, stamped with the block row id.
-  std::vector<index_t> Stamp(static_cast<std::size_t>(BlockCols), -1);
   index_t BlockRows = (A.NumRows + BlockSize - 1) / BlockSize;
-  for (index_t Br = 0; Br < BlockRows; ++Br) {
-    index_t RowEnd = std::min(A.NumRows, (Br + 1) * BlockSize);
-    for (index_t Row = Br * BlockSize; Row < RowEnd; ++Row)
-      for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
-        index_t Bc = A.ColIdx[I] / BlockSize;
-        if (Stamp[static_cast<std::size_t>(Bc)] != Br) {
-          Stamp[static_cast<std::size_t>(Bc)] = Br;
-          ++Occupied;
+  std::int64_t Occupied = 0;
+  // Block rows are independent, so each thread dedups with a private marker
+  // array (stamped with the block row id) and the counts reduce at the end.
+#pragma omp parallel if (A.nnz() > ParallelConvertGrain)
+  {
+    std::vector<index_t> Stamp(static_cast<std::size_t>(BlockCols), -1);
+#pragma omp for schedule(static) reduction(+ : Occupied)
+    for (index_t Br = 0; Br < BlockRows; ++Br) {
+      index_t RowEnd = std::min(A.NumRows, (Br + 1) * BlockSize);
+      for (index_t Row = Br * BlockSize; Row < RowEnd; ++Row)
+        for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
+          index_t Bc = A.ColIdx[I] / BlockSize;
+          if (Stamp[static_cast<std::size_t>(Bc)] != Br) {
+            Stamp[static_cast<std::size_t>(Bc)] = Br;
+            ++Occupied;
+          }
         }
-      }
+    }
   }
   return Occupied;
 }
@@ -399,10 +434,10 @@ bool csrToBsr(const CsrMatrix<T> &A, BsrMatrix<T> &B, index_t BlockSize,
                       static_cast<std::size_t>(BlockSize),
                   T(0));
 
-  // Two passes per block row: discover the sorted block pattern, then fill.
+  // Pass 1 (serial): discover the sorted block pattern per block row; the
+  // cumulative RowPtr/ColIdx emission is inherently sequential.
   std::vector<index_t> Slot(static_cast<std::size_t>(BlockCols), -1);
   std::vector<index_t> Pattern;
-  std::int64_t Emitted = 0;
   for (index_t Br = 0; Br < BlockRows; ++Br) {
     Pattern.clear();
     index_t RowEnd = std::min(A.NumRows, (Br + 1) * BlockSize);
@@ -415,24 +450,31 @@ bool csrToBsr(const CsrMatrix<T> &A, BsrMatrix<T> &B, index_t BlockSize,
         }
       }
     std::sort(Pattern.begin(), Pattern.end());
-    // Map block column -> index of its dense block in Values.
-    std::vector<std::pair<index_t, std::int64_t>> BlockOf(Pattern.size());
-    for (std::size_t K = 0; K != Pattern.size(); ++K) {
-      BlockOf[K] = {Pattern[K], Emitted};
-      B.ColIdx.push_back(Pattern[K]);
-      ++Emitted;
-    }
-    B.RowPtr[Br + 1] = static_cast<index_t>(Emitted);
+    for (index_t Bc : Pattern)
+      B.ColIdx.push_back(Bc);
+    B.RowPtr[Br + 1] = static_cast<index_t>(B.ColIdx.size());
+  }
+
+  // Pass 2 (parallel): scatter the values. A block row's blocks occupy a
+  // disjoint Values slice, so block rows fill concurrently; the dense block
+  // of an entry is found by binary search in the sorted per-row pattern.
+#pragma omp parallel for schedule(dynamic, 64)                               \
+    if (A.nnz() > ParallelConvertGrain)
+  for (index_t Br = 0; Br < BlockRows; ++Br) {
+    const index_t *First = B.ColIdx.data() + B.RowPtr[Br];
+    const index_t *Last = B.ColIdx.data() + B.RowPtr[Br + 1];
+    index_t RowEnd = std::min(A.NumRows, (Br + 1) * BlockSize);
     for (index_t Row = Br * BlockSize; Row < RowEnd; ++Row) {
       index_t LocalRow = Row - Br * BlockSize;
       for (index_t I = A.RowPtr[Row]; I < A.RowPtr[Row + 1]; ++I) {
         index_t Bc = A.ColIdx[I] / BlockSize;
-        auto It = std::lower_bound(
-            BlockOf.begin(), BlockOf.end(), Bc,
-            [](const auto &Entry, index_t Col) { return Entry.first < Col; });
-        assert(It != BlockOf.end() && It->first == Bc && "pattern mismatch");
+        const index_t *It = std::lower_bound(First, Last, Bc);
+        assert(It != Last && *It == Bc && "pattern mismatch");
+        std::size_t Block =
+            static_cast<std::size_t>(B.RowPtr[Br]) +
+            static_cast<std::size_t>(It - First);
         index_t LocalCol = A.ColIdx[I] - Bc * BlockSize;
-        B.Values[static_cast<std::size_t>(It->second) * BlockSize * BlockSize +
+        B.Values[Block * BlockSize * BlockSize +
                  static_cast<std::size_t>(LocalRow) * BlockSize + LocalCol] =
             A.Values[I];
       }

@@ -173,6 +173,36 @@ TEST(LearningModelTest, SerializeParseRoundTrip) {
     EXPECT_EQ(Parsed.Kernels.BestKernelName[static_cast<std::size_t>(K)],
               Model.Kernels.BestKernelName[static_cast<std::size_t>(K)]);
   }
+  EXPECT_EQ(Parsed.Kernels.BestSkewCsrKernel,
+            Model.Kernels.BestSkewCsrKernel);
+  EXPECT_EQ(Parsed.Kernels.BestSkewCsrKernelName,
+            Model.Kernels.BestSkewCsrKernelName);
+}
+
+TEST(LearningModelTest, SkewKernelLineRoundTripsAndStaysOptional) {
+  // With the skew pick set, serialize/parse preserves it without disturbing
+  // the ruleset.
+  LearningModel Model = sharedTrainResult().Model;
+  Model.Kernels.BestSkewCsrKernel = 8;
+  Model.Kernels.BestSkewCsrKernelName = "csr_nnzsplit";
+  LearningModel Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseModel(serializeModel(Model), Parsed, Error)) << Error;
+  EXPECT_EQ(Parsed.Kernels.BestSkewCsrKernel, 8);
+  EXPECT_EQ(Parsed.Kernels.BestSkewCsrKernelName, "csr_nnzsplit");
+  EXPECT_EQ(Parsed.Rules.size(), Model.Rules.size());
+
+  // A pre-skew model text (no kernel_skew line) must parse with the field
+  // at its -1 default and the full ruleset intact — backward compatibility
+  // with committed bench_cache models.
+  Model.Kernels.BestSkewCsrKernel = -1;
+  Model.Kernels.BestSkewCsrKernelName.clear();
+  std::string Legacy = serializeModel(Model);
+  EXPECT_EQ(Legacy.find("kernel_skew"), std::string::npos);
+  LearningModel Reparsed;
+  ASSERT_TRUE(parseModel(Legacy, Reparsed, Error)) << Error;
+  EXPECT_EQ(Reparsed.Kernels.BestSkewCsrKernel, -1);
+  EXPECT_EQ(Reparsed.Rules.size(), Model.Rules.size());
 }
 
 TEST(LearningModelTest, FileRoundTripAndSmatFromFile) {

@@ -15,6 +15,10 @@
 
 #include <set>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 using namespace smat;
 using namespace smat::test;
 
@@ -40,6 +44,45 @@ std::vector<std::pair<std::string, CsrMatrix<double>>> testMatrices() {
   Mats.emplace_back("single_col", randomCsr(50, 1, 0.4, 7));
   // All-zero matrix.
   Mats.emplace_back("all_zero", CsrMatrix<double>(10, 10));
+  // Adversarially skewed row-length distributions: the shapes the
+  // load-balanced (nnz-split CSR, sliced ELL) kernels exist for.
+  {
+    // One dense row among (almost) empty rows.
+    std::vector<index_t> Rows, Cols;
+    std::vector<double> Vals;
+    for (index_t C = 0; C < 40; ++C) {
+      Rows.push_back(5);
+      Cols.push_back(C);
+      Vals.push_back(0.25 * static_cast<double>(C) - 3.0);
+    }
+    Rows.push_back(30);
+    Cols.push_back(12);
+    Vals.push_back(2.5);
+    Mats.emplace_back("dense_row_among_empty",
+                      csrFromTriplets<double>(40, 40, Rows, Cols, Vals));
+  }
+  {
+    // Arrowhead: full first row, full first column, full diagonal.
+    std::vector<index_t> Rows, Cols;
+    std::vector<double> Vals;
+    for (index_t C = 0; C < 60; ++C) {
+      Rows.push_back(0);
+      Cols.push_back(C);
+      Vals.push_back(1.0 + 0.01 * static_cast<double>(C));
+    }
+    for (index_t R = 1; R < 60; ++R) {
+      Rows.push_back(R);
+      Cols.push_back(0);
+      Vals.push_back(-0.5);
+      Rows.push_back(R);
+      Cols.push_back(R);
+      Vals.push_back(3.0);
+    }
+    Mats.emplace_back("arrowhead",
+                      csrFromTriplets<double>(60, 60, Rows, Cols, Vals));
+  }
+  // Power-law tail with spiked hub rows.
+  Mats.emplace_back("power_law_spiked", spikedRows(120, 2, 80, 0.05, 9));
   return Mats;
 }
 
@@ -162,7 +205,7 @@ TEST_P(KernelCorrectness, FloatKernelsMatchReference) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllShapes, KernelCorrectness, ::testing::Range(0, 10),
+INSTANTIATE_TEST_SUITE_P(AllShapes, KernelCorrectness, ::testing::Range(0, 13),
                          [](const ::testing::TestParamInfo<int> &Info) {
                            auto Mats = testMatrices();
                            return Mats[static_cast<std::size_t>(Info.param)]
@@ -253,6 +296,85 @@ TEST(KernelRegistryTest, FlagStrings) {
   EXPECT_EQ(optFlagsString(OptNone), "basic");
   EXPECT_EQ(optFlagsString(OptUnroll), "unroll");
   EXPECT_EQ(optFlagsString(OptSimd | OptThreads), "simd+threads");
+}
+
+// --- Load-balanced kernels (nnz-split CSR, sliced ELL) -------------------------
+
+TEST(LoadBalanceTest, NnzSplitMatchesReferenceUnderForcedChunking) {
+  // The nnz-split kernel only partitions when several chunks are worthwhile;
+  // force a high thread count so its boundary-row carry logic runs even on a
+  // single-core CI runner, and use matrices whose longest row spans multiple
+  // chunks.
+#ifdef _OPENMP
+  int Saved = omp_get_max_threads();
+  omp_set_num_threads(8);
+#endif
+  const CsrKernelFn<double> *NnzSplit = nullptr;
+  for (const auto &K : kernelTable<double>().Csr)
+    if (std::string(K.Name) == "csr_nnzsplit")
+      NnzSplit = &K.Fn;
+  ASSERT_NE(NnzSplit, nullptr);
+
+  std::vector<std::pair<std::string, CsrMatrix<double>>> Skewed;
+  Skewed.emplace_back("power_law_large",
+                      powerLawGraph(3000, 1.8, 1, 1500, 21));
+  Skewed.emplace_back("spiked_hubs", spikedRows(2000, 2, 600, 0.02, 22));
+  Skewed.emplace_back("circuit_dense_rows", circuitLike(1500, 3, 0.9, 23));
+  {
+    // A single row holding nearly all nonzeros: the row spans every chunk,
+    // so all but one chunk contribute carries.
+    std::vector<index_t> Rows, Cols;
+    std::vector<double> Vals;
+    for (index_t C = 0; C < 4000; ++C) {
+      Rows.push_back(17);
+      Cols.push_back(C);
+      Vals.push_back(0.001 * static_cast<double>(C) - 1.7);
+    }
+    Skewed.emplace_back("one_giant_row",
+                        csrFromTriplets<double>(64, 4000, Rows, Cols, Vals));
+  }
+  for (const auto &[Name, A] : Skewed) {
+    SCOPED_TRACE(Name);
+    auto X = randomVector<double>(static_cast<std::size_t>(A.NumCols), 400);
+    auto Expected = denseSpmv(A, X);
+    std::vector<double> Y(static_cast<std::size_t>(A.NumRows), -7.0);
+    (*NnzSplit)(A, X.data(), Y.data());
+    expectVectorsNear(Expected, Y, 1e-9);
+  }
+#ifdef _OPENMP
+  omp_set_num_threads(Saved);
+#endif
+}
+
+TEST(LoadBalanceTest, SlicedEllKernelsDeclareRowLengthPrecond) {
+  // csrToEll output carries the RowLen sidecar, so the precondition holds;
+  // a hand-built ELL without it must be gated out rather than read past
+  // RowLen.data().
+  CsrMatrix<double> A = spikedRows(200, 2, 50, 0.05, 24);
+  EllMatrix<double> Converted;
+  ASSERT_TRUE(csrToEll(A, Converted, /*MaxFillRatio=*/0.0));
+  EXPECT_TRUE(Converted.hasRowLengths());
+
+  EllMatrix<double> Bare = Converted;
+  Bare.RowLen.clear();
+  int SlicedSeen = 0;
+  for (const auto &K : kernelTable<double>().Ell) {
+    if (!(K.Flags & OptLoadBalance))
+      continue;
+    ++SlicedSeen;
+    EXPECT_EQ(K.Preconds & PrecondRowLengths, PrecondRowLengths) << K.Name;
+    EXPECT_TRUE(kernelPrecondsHold(K.Preconds, Converted)) << K.Name;
+    EXPECT_FALSE(kernelPrecondsHold(K.Preconds, Bare)) << K.Name;
+  }
+  EXPECT_GE(SlicedSeen, 2);
+
+  // measureKernelTable applies the same gate: precondition violators are
+  // recorded at zero GFLOPS and thus never selectable.
+  auto Table = measureKernelTable<double>(kernelTable<double>().Ell, Bare,
+                                          /*MinSeconds=*/1e-5);
+  for (std::size_t I = 0; I != Table.size(); ++I)
+    if (kernelTable<double>().Ell[I].Preconds & PrecondRowLengths)
+      EXPECT_EQ(Table[I].Gflops, 0.0) << Table[I].Name;
 }
 
 // --- Scoreboard (paper Section 5.2) --------------------------------------------
@@ -357,4 +479,12 @@ TEST(ScoreboardTest, SearchOptimalKernelsReturnsValidIndices) {
     EXPECT_GE(S.BestKernel[static_cast<std::size_t>(K)], 0);
     EXPECT_FALSE(S.BestKernelName[static_cast<std::size_t>(K)].empty());
   }
+  // The skewed-CSR pass always runs in the unbudgeted search.
+  EXPECT_GE(S.BestSkewCsrKernel, 0);
+  EXPECT_LT(S.BestSkewCsrKernel, static_cast<int>(T.Csr.size()));
+  EXPECT_FALSE(S.BestSkewCsrKernelName.empty());
+  // csrKernelFor routes by row CV: below the threshold the general pick,
+  // above it the skew pick.
+  EXPECT_EQ(S.csrKernelFor(0.0), S.BestKernel[static_cast<int>(FormatKind::CSR)]);
+  EXPECT_EQ(S.csrKernelFor(SkewRowCvThreshold + 1.0), S.BestSkewCsrKernel);
 }

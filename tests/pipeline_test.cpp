@@ -163,6 +163,54 @@ TEST(BindStageTest, GuardRejectionFallsBackToCsr) {
   EXPECT_FALSE(B.KernelName.empty());
 }
 
+TEST(BindStageTest, SkewedFeaturesBindLoadBalancedCsrKernel) {
+  // With the skew pick populated, features whose row CV clears the
+  // threshold must route the CSR bind to the load-balanced kernel; without
+  // features (legacy 2-arg call sites) the general pick stays.
+  const auto &Csr = kernelTable<double>().Csr;
+  int NnzSplit = -1;
+  for (std::size_t I = 0; I != Csr.size(); ++I)
+    if (std::string(Csr[I].Name) == "csr_nnzsplit")
+      NnzSplit = static_cast<int>(I);
+  ASSERT_GE(NnzSplit, 0);
+
+  LearningModel Model = sharedModel();
+  Model.Kernels.BestSkewCsrKernel = NnzSplit;
+  Model.Kernels.BestSkewCsrKernelName = "csr_nnzsplit";
+
+  CsrMatrix<double> A = spikedRows(1500, 2, 500, 0.01, 41);
+  TuneOptions Opts;
+  TuningContext<double> Ctx{A, Model, Opts, nullptr};
+  FeatureStageResult F = FeatureStage::run(Ctx);
+  ASSERT_GT(F.Features.rowCv(), SkewRowCvThreshold);
+
+  BindStageResult<double> Skewed = BindStage::run(Ctx, FormatKind::CSR,
+                                                  &F.Features);
+  ASSERT_TRUE(Skewed.Op);
+  EXPECT_EQ(Skewed.KernelName, "csr_nnzsplit");
+
+  BindStageResult<double> Legacy = BindStage::run(Ctx, FormatKind::CSR);
+  ASSERT_TRUE(Legacy.Op);
+  EXPECT_NE(Legacy.KernelName, "csr_nnzsplit");
+
+  // A balanced matrix stays on the general pick even with features given.
+  CsrMatrix<double> B = banded(1500, 2);
+  TuningContext<double> CtxB{B, Model, Opts, nullptr};
+  FeatureStageResult FB = FeatureStage::run(CtxB);
+  ASSERT_LT(FB.Features.rowCv(), SkewRowCvThreshold);
+  BindStageResult<double> Balanced = BindStage::run(CtxB, FormatKind::CSR,
+                                                    &FB.Features);
+  ASSERT_TRUE(Balanced.Op);
+  EXPECT_NE(Balanced.KernelName, "csr_nnzsplit");
+
+  // The bound skewed operator computes the right thing.
+  auto X = randomVector<double>(static_cast<std::size_t>(A.NumCols), 42);
+  auto Expected = denseSpmv(A, X);
+  std::vector<double> Y(static_cast<std::size_t>(A.NumRows), -1.0);
+  Skewed.Op->apply(X.data(), Y.data());
+  expectVectorsNear(Expected, Y, 1e-9);
+}
+
 TEST(FormatOperatorTest, AllFormatsMatchReferenceSpmv) {
   // A band converts cleanly to every four-format representation; each bound
   // operator must agree with the fixed-interface reference library.
