@@ -6,12 +6,16 @@
 //
 // The perf-regression suite behind the CI bench-smoke job: a pinned, seeded
 // corpus slice (balanced FEM, skewed power-law, banded, rectangular) is run
-// through three roles per matrix --
+// through five roles per matrix --
 //
-//   basic      the strategy-free csr_basic kernel (the overhead unit),
-//   reference  the best of the fixed-interface ref library's CSR/COO/DIA
-//              entry points (the MKL stand-in, exactly as fig10 scores it),
-//   tuned      the full Smat tune + bound operator,
+//   basic          the strategy-free csr_basic kernel (the overhead unit),
+//   reference      the best of the fixed-interface ref library's CSR/COO/DIA
+//                  entry points (the MKL stand-in, as fig10 scores it),
+//   tuned          the full Smat tune + bound operator,
+//   spmv_x8        the k=1 tuned operator applied 8 times back to back
+//                  (effective GFLOPS over the 8-column block),
+//   spmm_tuned_k8  one width-8 batched tune + register-tiled multiply over
+//                  the same block,
 //
 // -- each measured with the robust (min-of-k, spread-checked) timer, and the
 // results are written as JSON in the stable schema consumed by
@@ -22,7 +26,7 @@
 //                 "gflops", "tune_ms"}, ...]}
 //
 // Flags: --smoke  tiny matrices + short samples (CI shared runners);
-//        --out F  output path (default BENCH_PR4.json).
+//        --out F  output path (default BENCH_PR5.json).
 //
 //===----------------------------------------------------------------------===//
 
@@ -131,13 +135,52 @@ void appendRoles(std::vector<BenchRecord> &Records, const Smat<double> &Tuner,
   // Role 3: the tuned operator, with the tune cost reported alongside so
   // bench_compare.py can flag tune-time blowups separately from kernel
   // regressions.
+  TunedSpmv<double> Op = Tuner.tune(A);
   {
-    TunedSpmv<double> Op = Tuner.tune(A);
     double Gflops = robustGflops(Nnz, MinSeconds,
                                  [&] { Op.apply(X.data(), Y.data()); });
     Records.push_back({Case.Name, "tuned", std::string(formatName(Op.format())),
                        Op.kernelName(), Gflops,
                        Op.report().TuneSeconds * 1e3});
+  }
+
+  // Roles 4/5: the batched tier at k = 8. Both roles report effective GFLOPS
+  // over the full block (2 * nnz * k flops), so the pair is directly
+  // comparable: spmv_x8 sweeps the k=1 tuned operator over the columns of the
+  // block (what a caller without the SpMM tier would do), spmm_tuned_k8 is one
+  // width-8 tune applied with the register-tiled multiply.
+  {
+    constexpr index_t K = 8;
+    std::uint64_t BlockNnz = Nnz * static_cast<std::uint64_t>(K);
+    AlignedVector<double> Xb(static_cast<std::size_t>(A.NumCols) * K);
+    AlignedVector<double> Yb(static_cast<std::size_t>(A.NumRows) * K, 0.0);
+    for (std::size_t I = 0; I != Xb.size(); ++I)
+      Xb[I] = 0.01 * static_cast<double>(I % 100) - 0.5;
+    // Columns are pre-extracted so the loop baseline times pure SpMV work --
+    // the strictest comparison (a real caller would also pay the gather).
+    std::vector<AlignedVector<double>> Cols(
+        K, AlignedVector<double>(static_cast<std::size_t>(A.NumCols)));
+    for (index_t J = 0; J < K; ++J)
+      for (index_t R = 0; R < A.NumCols; ++R)
+        Cols[static_cast<std::size_t>(J)][static_cast<std::size_t>(R)] =
+            Xb[static_cast<std::size_t>(R) * K + static_cast<std::size_t>(J)];
+    AlignedVector<double> ColY(static_cast<std::size_t>(A.NumRows));
+
+    double LoopG = robustGflops(BlockNnz, MinSeconds, [&] {
+      for (index_t J = 0; J < K; ++J)
+        Op.apply(Cols[static_cast<std::size_t>(J)].data(), ColY.data());
+    });
+    Records.push_back({Case.Name, "spmv_x8",
+                       std::string(formatName(Op.format())), Op.kernelName(),
+                       LoopG, 0.0});
+
+    TunedSpmv<double> Op8 = SMAT_dCSR_SpMM(Tuner, A, K);
+    double SpmmG = robustGflops(
+        BlockNnz, MinSeconds, [&] { Op8.multiply(Xb.data(), Yb.data(), K); });
+    Records.push_back({Case.Name, "spmm_tuned_k8",
+                       std::string(formatName(Op8.format())),
+                       Op8.spmmKernelName(), SpmmG,
+                       Op8.report().TuneSeconds * 1e3});
   }
 }
 
@@ -167,7 +210,7 @@ void writeJson(const std::string &Path, const std::vector<BenchRecord> &Records,
 
 int main(int Argc, char **Argv) {
   bool Smoke = false;
-  std::string OutPath = "BENCH_PR4.json";
+  std::string OutPath = "BENCH_PR5.json";
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--smoke") == 0) {
       Smoke = true;

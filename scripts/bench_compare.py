@@ -6,10 +6,14 @@ Usage:
 
 Records are matched on (matrix, role). For each pair the GFLOPS ratio
 current/baseline is computed; a drop beyond --max-regression (default 10%)
-fails the comparison. The tuned role's tune_ms is checked separately: a
-blowup beyond --max-tune-blowup (default 3x) fails even under --report-only,
-because tune-time explosions are robustly detectable on noisy shared runners
-while raw GFLOPS are not.
+fails the comparison. Unmatched pairs are printed in both directions:
+MISSING (in the baseline but not the current run) and NEW (the reverse).
+With --require-coverage, any MISSING pair fails the comparison even under
+--report-only -- losing a case is a coverage bug, not measurement noise.
+The tuned role's tune_ms is checked separately: a blowup beyond
+--max-tune-blowup (default 3x) fails even under --report-only, because
+tune-time explosions are robustly detectable on noisy shared runners while
+raw GFLOPS are not.
 
 Exit codes: 0 ok, 1 regression found, 2 usage/input error.
 """
@@ -57,6 +61,10 @@ def main():
     ap.add_argument("--report-only", action="store_true",
                     help="report GFLOPS regressions without failing on them "
                          "(shared-runner mode); tune-time blowups still fail")
+    ap.add_argument("--require-coverage", action="store_true",
+                    help="fail when the current run is missing any "
+                         "(matrix, role) pair the baseline has, even under "
+                         "--report-only")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -64,10 +72,11 @@ def main():
 
     gflops_failures = []
     tune_failures = []
+    missing = []
     for key in sorted(base):
         if key not in cur:
             print(f"MISSING  {key[0]}/{key[1]}: in baseline but not current")
-            gflops_failures.append(key)
+            missing.append(key)
             continue
         b, c = base[key], cur[key]
         if b["gflops"] > 0:
@@ -91,10 +100,17 @@ def main():
     for key in sorted(set(cur) - set(base)):
         print(f"NEW      {key[0]}/{key[1]}: not in baseline (ignored)")
 
+    if missing and args.require_coverage:
+        print(f"bench_compare: FAIL: {len(missing)} (matrix, role) pair(s) "
+              f"in the baseline are missing from the current run")
+        return 1
     if tune_failures:
         print(f"bench_compare: FAIL: {len(tune_failures)} tune-time "
               f"blowup(s) beyond {args.max_tune_blowup:.1f}x")
         return 1
+    # Without --require-coverage, missing pairs count as regressions (they
+    # respect --report-only like any other GFLOPS failure).
+    gflops_failures.extend(missing)
     if gflops_failures:
         msg = (f"{len(gflops_failures)} GFLOPS regression(s) beyond "
                f"{args.max_regression:.0%}")

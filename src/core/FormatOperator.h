@@ -44,7 +44,9 @@ enum class CsrStorage {
 };
 
 /// A tuned SpMV operator bound to one (format, kernel) pair. Implementations
-/// own their converted storage; `apply` computes y := A*x.
+/// own their converted storage; `apply` computes y := A*x and `multiply`
+/// computes the batched Y := A*X over a row-major block of K right-hand
+/// sides.
 template <typename T> class FormatOperator {
 public:
   virtual ~FormatOperator() = default;
@@ -52,11 +54,43 @@ public:
   /// Computes y := A*x with the bound kernel.
   virtual void apply(const T *X, T *Y) const = 0;
 
+  /// Computes Y := A*X for a row-major block of K right-hand sides
+  /// (X: numCols() x K, Y: numRows() x K). The base implementation runs
+  /// apply() column by column through staging buffers, so every operator —
+  /// including BSR and the reference rung, which have no SpMM kernel family
+  /// — supports batching; operators with a bound SpMM kernel override it.
+  virtual void multiply(const T *X, T *Y, index_t K) const {
+    if (K == 1) {
+      apply(X, Y);
+      return;
+    }
+    const index_t Rows = numRows(), Cols = numCols();
+    AlignedVector<T> Xc(static_cast<std::size_t>(Cols));
+    AlignedVector<T> Yc(static_cast<std::size_t>(Rows));
+    for (index_t J = 0; J < K; ++J) {
+      for (index_t I = 0; I < Cols; ++I)
+        Xc[static_cast<std::size_t>(I)] =
+            X[static_cast<std::size_t>(I) * K + J];
+      apply(Xc.data(), Yc.data());
+      for (index_t I = 0; I < Rows; ++I)
+        Y[static_cast<std::size_t>(I) * K + J] =
+            Yc[static_cast<std::size_t>(I)];
+    }
+  }
+
   /// \returns the storage format this operator executes in.
   virtual FormatKind kind() const = 0;
 
   /// \returns the bound kernel's registry name.
   virtual const char *kernelName() const = 0;
+
+  /// \returns the bound SpMM kernel's registry name, or the SpMV kernel
+  /// name when multiply() runs through the column-at-a-time fallback.
+  virtual const char *spmmKernelName() const { return kernelName(); }
+
+  /// Dimensions of the bound matrix (needed by the batched fallback).
+  virtual index_t numRows() const = 0;
+  virtual index_t numCols() const = 0;
 
   /// \returns false only for the borrowed-CSR operator, whose storage is the
   /// caller's matrix.
@@ -68,29 +102,57 @@ public:
 template <typename T> class CsrBorrowedOperator final : public FormatOperator<T> {
 public:
   CsrBorrowedOperator(const CsrMatrix<T> &A, CsrKernelFn<T> Fn,
-                      const char *Name)
-      : A(&A), Fn(Fn), Name(Name) {}
+                      const char *Name, CsrSpmmFn<T> SpmmFn = nullptr,
+                      const char *SpmmName = nullptr)
+      : A(&A), Fn(Fn), SpmmFn(SpmmFn), Name(Name), SpmmName(SpmmName) {}
 
   void apply(const T *X, T *Y) const override { Fn(*A, X, Y); }
+  void multiply(const T *X, T *Y, index_t K) const override {
+    if (SpmmFn)
+      SpmmFn(*A, X, Y, K);
+    else
+      FormatOperator<T>::multiply(X, Y, K);
+  }
   FormatKind kind() const override { return FormatKind::CSR; }
   const char *kernelName() const override { return Name; }
+  const char *spmmKernelName() const override {
+    return SpmmName ? SpmmName : Name;
+  }
+  index_t numRows() const override { return A->NumRows; }
+  index_t numCols() const override { return A->NumCols; }
   bool ownsStorage() const override { return false; }
 
 private:
   const CsrMatrix<T> *A;
   CsrKernelFn<T> Fn;
+  CsrSpmmFn<T> SpmmFn;
   const char *Name;
+  const char *SpmmName;
 };
 
 /// CSR operator owning its matrix (copied or moved in).
 template <typename T> class CsrOwningOperator final : public FormatOperator<T> {
 public:
-  CsrOwningOperator(CsrMatrix<T> A, CsrKernelFn<T> Fn, const char *Name)
-      : A(std::move(A)), Fn(Fn), Name(Name) {}
+  CsrOwningOperator(CsrMatrix<T> A, CsrKernelFn<T> Fn, const char *Name,
+                    CsrSpmmFn<T> SpmmFn = nullptr,
+                    const char *SpmmName = nullptr)
+      : A(std::move(A)), Fn(Fn), SpmmFn(SpmmFn), Name(Name),
+        SpmmName(SpmmName) {}
 
   void apply(const T *X, T *Y) const override { Fn(A, X, Y); }
+  void multiply(const T *X, T *Y, index_t K) const override {
+    if (SpmmFn)
+      SpmmFn(A, X, Y, K);
+    else
+      FormatOperator<T>::multiply(X, Y, K);
+  }
   FormatKind kind() const override { return FormatKind::CSR; }
   const char *kernelName() const override { return Name; }
+  const char *spmmKernelName() const override {
+    return SpmmName ? SpmmName : Name;
+  }
+  index_t numRows() const override { return A.NumRows; }
+  index_t numCols() const override { return A.NumCols; }
 
   /// Replaces the owned matrix. noexcept, so the degradation ladder can run
   /// the one throwing step (allocating this node, with an empty matrix)
@@ -101,7 +163,9 @@ public:
 private:
   CsrMatrix<T> A;
   CsrKernelFn<T> Fn;
+  CsrSpmmFn<T> SpmmFn;
   const char *Name;
+  const char *SpmmName;
 };
 
 /// The degradation ladder's last rung: CSR bound to the fixed-interface
@@ -118,6 +182,8 @@ public:
   void apply(const T *X, T *Y) const override { refCsrSpmv(*Bound, X, Y); }
   FormatKind kind() const override { return FormatKind::CSR; }
   const char *kernelName() const override { return "csr_reference"; }
+  index_t numRows() const override { return Bound->NumRows; }
+  index_t numCols() const override { return Bound->NumCols; }
   bool ownsStorage() const override { return Bound == &Owned; }
 
   /// Moves \p M in, making the operator self-contained. noexcept for the
@@ -134,49 +200,96 @@ private:
 
 template <typename T> class CooOperator final : public FormatOperator<T> {
 public:
-  CooOperator(CooMatrix<T> A, CooKernelFn<T> Fn, const char *Name)
-      : A(std::move(A)), Fn(Fn), Name(Name) {}
+  CooOperator(CooMatrix<T> A, CooKernelFn<T> Fn, const char *Name,
+              CooSpmmFn<T> SpmmFn = nullptr, const char *SpmmName = nullptr)
+      : A(std::move(A)), Fn(Fn), SpmmFn(SpmmFn), Name(Name),
+        SpmmName(SpmmName) {}
 
   void apply(const T *X, T *Y) const override { Fn(A, X, Y); }
+  void multiply(const T *X, T *Y, index_t K) const override {
+    if (SpmmFn)
+      SpmmFn(A, X, Y, K);
+    else
+      FormatOperator<T>::multiply(X, Y, K);
+  }
   FormatKind kind() const override { return FormatKind::COO; }
   const char *kernelName() const override { return Name; }
+  const char *spmmKernelName() const override {
+    return SpmmName ? SpmmName : Name;
+  }
+  index_t numRows() const override { return A.NumRows; }
+  index_t numCols() const override { return A.NumCols; }
 
 private:
   CooMatrix<T> A;
   CooKernelFn<T> Fn;
+  CooSpmmFn<T> SpmmFn;
   const char *Name;
+  const char *SpmmName;
 };
 
 template <typename T> class DiaOperator final : public FormatOperator<T> {
 public:
-  DiaOperator(DiaMatrix<T> A, DiaKernelFn<T> Fn, const char *Name)
-      : A(std::move(A)), Fn(Fn), Name(Name) {}
+  DiaOperator(DiaMatrix<T> A, DiaKernelFn<T> Fn, const char *Name,
+              DiaSpmmFn<T> SpmmFn = nullptr, const char *SpmmName = nullptr)
+      : A(std::move(A)), Fn(Fn), SpmmFn(SpmmFn), Name(Name),
+        SpmmName(SpmmName) {}
 
   void apply(const T *X, T *Y) const override { Fn(A, X, Y); }
+  void multiply(const T *X, T *Y, index_t K) const override {
+    if (SpmmFn)
+      SpmmFn(A, X, Y, K);
+    else
+      FormatOperator<T>::multiply(X, Y, K);
+  }
   FormatKind kind() const override { return FormatKind::DIA; }
   const char *kernelName() const override { return Name; }
+  const char *spmmKernelName() const override {
+    return SpmmName ? SpmmName : Name;
+  }
+  index_t numRows() const override { return A.NumRows; }
+  index_t numCols() const override { return A.NumCols; }
 
 private:
   DiaMatrix<T> A;
   DiaKernelFn<T> Fn;
+  DiaSpmmFn<T> SpmmFn;
   const char *Name;
+  const char *SpmmName;
 };
 
 template <typename T> class EllOperator final : public FormatOperator<T> {
 public:
-  EllOperator(EllMatrix<T> A, EllKernelFn<T> Fn, const char *Name)
-      : A(std::move(A)), Fn(Fn), Name(Name) {}
+  EllOperator(EllMatrix<T> A, EllKernelFn<T> Fn, const char *Name,
+              EllSpmmFn<T> SpmmFn = nullptr, const char *SpmmName = nullptr)
+      : A(std::move(A)), Fn(Fn), SpmmFn(SpmmFn), Name(Name),
+        SpmmName(SpmmName) {}
 
   void apply(const T *X, T *Y) const override { Fn(A, X, Y); }
+  void multiply(const T *X, T *Y, index_t K) const override {
+    if (SpmmFn)
+      SpmmFn(A, X, Y, K);
+    else
+      FormatOperator<T>::multiply(X, Y, K);
+  }
   FormatKind kind() const override { return FormatKind::ELL; }
   const char *kernelName() const override { return Name; }
+  const char *spmmKernelName() const override {
+    return SpmmName ? SpmmName : Name;
+  }
+  index_t numRows() const override { return A.NumRows; }
+  index_t numCols() const override { return A.NumCols; }
 
 private:
   EllMatrix<T> A;
   EllKernelFn<T> Fn;
+  EllSpmmFn<T> SpmmFn;
   const char *Name;
+  const char *SpmmName;
 };
 
+/// BSR has no SpMM kernel family; multiply() uses the base class's
+/// column-at-a-time fallback.
 template <typename T> class BsrOperator final : public FormatOperator<T> {
 public:
   BsrOperator(BsrMatrix<T> A, BsrKernelFn<T> Fn, const char *Name)
@@ -185,6 +298,8 @@ public:
   void apply(const T *X, T *Y) const override { Fn(A, X, Y); }
   FormatKind kind() const override { return FormatKind::BSR; }
   const char *kernelName() const override { return Name; }
+  index_t numRows() const override { return A.NumRows; }
+  index_t numCols() const override { return A.NumCols; }
 
 private:
   BsrMatrix<T> A;
@@ -200,17 +315,33 @@ private:
 /// instead of copying (the rvalue tune path). \p CsrKernelOverride, when in
 /// range, replaces the scoreboard's general CSR pick — the skew-aware bind
 /// path passes Sel.csrKernelFor(rowCv) here so heavily skewed matrices get
-/// the load-balanced kernel.
+/// the load-balanced kernel. \p BatchWidth selects which per-width SpMM
+/// pick (KernelSelection::BestSpmmKernel) the operator binds for
+/// multiply(); an unsearched width binds the format's basic SpMM kernel, so
+/// multiply() is batched for CSR/COO/DIA/ELL regardless of tuning width.
 template <typename T>
 std::unique_ptr<FormatOperator<T>>
 bindFormatOperator(const CsrMatrix<T> &A, FormatKind Requested,
                    const KernelSelection &Sel,
                    CsrStorage Storage = CsrStorage::Borrowed,
                    CsrMatrix<T> *MoveSource = nullptr,
-                   int CsrKernelOverride = -1) {
+                   int CsrKernelOverride = -1, index_t BatchWidth = 1) {
   const KernelTable<T> &Kernels = kernelTable<T>();
   auto Best = [&Sel](FormatKind Kind) {
     return static_cast<std::size_t>(Sel.BestKernel[static_cast<int>(Kind)]);
+  };
+  // The scoreboard's SpMM pick for this width bucket, index-0 (basic) when
+  // the width was never searched, demoted to basic when the converted
+  // matrix violates the pick's structural precondition.
+  auto BestSpmm = [&Sel, BatchWidth](FormatKind Kind, const auto &List,
+                                     const auto &Converted) -> std::size_t {
+    int Idx = Sel.spmmKernelFor(Kind, BatchWidth);
+    if (Idx < 0 || static_cast<std::size_t>(Idx) >= List.size())
+      return 0;
+    if (!kernelPrecondsHold(List[static_cast<std::size_t>(Idx)].Preconds,
+                            Converted))
+      return 0;
+    return static_cast<std::size_t>(Idx);
   };
 
   switch (Requested) {
@@ -224,13 +355,19 @@ bindFormatOperator(const CsrMatrix<T> &A, FormatKind Requested,
     if (!kernelPrecondsHold(Kernels.Coo[Idx].Preconds, Coo))
       Idx = 0;
     const auto &K = Kernels.Coo[Idx];
-    return std::make_unique<CooOperator<T>>(std::move(Coo), K.Fn, K.Name);
+    const auto &M =
+        Kernels.CooSpmm[BestSpmm(FormatKind::COO, Kernels.CooSpmm, Coo)];
+    return std::make_unique<CooOperator<T>>(std::move(Coo), K.Fn, K.Name,
+                                            M.Fn, M.Name);
   }
   case FormatKind::DIA: {
     DiaMatrix<T> Dia;
     if (csrToDia(A, Dia)) {
       const auto &K = Kernels.Dia[Best(FormatKind::DIA)];
-      return std::make_unique<DiaOperator<T>>(std::move(Dia), K.Fn, K.Name);
+      const auto &M =
+          Kernels.DiaSpmm[BestSpmm(FormatKind::DIA, Kernels.DiaSpmm, Dia)];
+      return std::make_unique<DiaOperator<T>>(std::move(Dia), K.Fn, K.Name,
+                                              M.Fn, M.Name);
     }
     break;
   }
@@ -244,7 +381,10 @@ bindFormatOperator(const CsrMatrix<T> &A, FormatKind Requested,
       if (!kernelPrecondsHold(Kernels.Ell[Idx].Preconds, Ell))
         Idx = 0;
       const auto &K = Kernels.Ell[Idx];
-      return std::make_unique<EllOperator<T>>(std::move(Ell), K.Fn, K.Name);
+      const auto &M =
+          Kernels.EllSpmm[BestSpmm(FormatKind::ELL, Kernels.EllSpmm, Ell)];
+      return std::make_unique<EllOperator<T>>(std::move(Ell), K.Fn, K.Name,
+                                              M.Fn, M.Name);
     }
     break;
   }
@@ -266,19 +406,22 @@ bindFormatOperator(const CsrMatrix<T> &A, FormatKind Requested,
       static_cast<std::size_t>(CsrKernelOverride) < Kernels.Csr.size())
     CsrIdx = static_cast<std::size_t>(CsrKernelOverride);
   const auto &K = Kernels.Csr[CsrIdx];
+  const auto &M =
+      Kernels.CsrSpmm[BestSpmm(FormatKind::CSR, Kernels.CsrSpmm, A)];
   if (Storage == CsrStorage::Owned) {
     // Allocate the node (the only throwing step) with an empty matrix, then
     // adopt the real storage noexcept: if the allocation throws, a
     // MoveSource matrix is still intact for the caller's degradation ladder.
-    auto Op =
-        std::make_unique<CsrOwningOperator<T>>(CsrMatrix<T>(), K.Fn, K.Name);
+    auto Op = std::make_unique<CsrOwningOperator<T>>(CsrMatrix<T>(), K.Fn,
+                                                     K.Name, M.Fn, M.Name);
     if (MoveSource)
       Op->adoptMatrix(std::move(*MoveSource));
     else
       Op->adoptMatrix(CsrMatrix<T>(A));
     return Op;
   }
-  return std::make_unique<CsrBorrowedOperator<T>>(A, K.Fn, K.Name);
+  return std::make_unique<CsrBorrowedOperator<T>>(A, K.Fn, K.Name, M.Fn,
+                                                  M.Name);
 }
 
 } // namespace smat

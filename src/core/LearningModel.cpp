@@ -40,6 +40,22 @@ std::string smat::serializeModel(const LearningModel &Model) {
     Out += formatString("kernel_skew CSR %d %s\n",
                         Model.Kernels.BestSkewCsrKernel,
                         Model.Kernels.BestSkewCsrKernelName.c_str());
+  // Optional per-width SpMM picks (same v1 compatibility contract as
+  // kernel_skew: only searched entries are written, and a parser that does
+  // not know the tag treats the first non-matching line as ruleset text).
+  for (int K = 0; K < NumFormats; ++K)
+    for (int W = 0; W < NumSpmmWidths; ++W)
+      if (Model.Kernels.BestSpmmKernel[static_cast<std::size_t>(K)]
+                                      [static_cast<std::size_t>(W)] >= 0)
+        Out += formatString(
+            "kernel_spmm %d %s %d %s\n",
+            static_cast<int>(SpmmSearchWidths[static_cast<std::size_t>(W)]),
+            std::string(formatName(static_cast<FormatKind>(K))).c_str(),
+            Model.Kernels.BestSpmmKernel[static_cast<std::size_t>(K)]
+                                        [static_cast<std::size_t>(W)],
+            Model.Kernels.BestSpmmKernelName[static_cast<std::size_t>(K)]
+                                            [static_cast<std::size_t>(W)]
+                .c_str());
   Out += serializeRuleSet(Model.Rules);
   return Out;
 }
@@ -95,24 +111,43 @@ bool smat::parseModel(const std::string &Text, LearningModel &Model,
         KernelParts[3];
   }
 
-  // Optional skew-pass CSR kernel line (absent in models trained before the
-  // load-balanced kernels existed: BestSkewCsrKernel then stays -1 and the
-  // runtime binds the general CSR pick everywhere). Lookahead: a consumed
-  // line that is not kernel_skew belongs to the ruleset.
+  // Optional lines (absent in models trained before the features existed):
+  // kernel_skew (skew-pass CSR kernel; BestSkewCsrKernel stays -1 without
+  // it) and kernel_spmm (per-width batched picks; the affected width bucket
+  // stays unsearched without them). Lookahead loop: the first consumed line
+  // matching neither tag belongs to the ruleset.
   std::string RulesetPrefix;
-  if (std::getline(In, Line)) {
-    auto SkewParts = splitWhitespace(Line);
-    if (SkewParts.size() == 4 && SkewParts[0] == "kernel_skew") {
-      if (SkewParts[1] != "CSR") {
+  while (std::getline(In, Line)) {
+    auto Parts = splitWhitespace(Line);
+    if (Parts.size() == 4 && Parts[0] == "kernel_skew") {
+      if (Parts[1] != "CSR") {
         Error = "malformed kernel_skew line: '" + Line + "'";
         return false;
       }
       Model.Kernels.BestSkewCsrKernel =
-          static_cast<int>(std::strtol(SkewParts[2].c_str(), nullptr, 10));
-      Model.Kernels.BestSkewCsrKernelName = SkewParts[3];
-    } else {
-      RulesetPrefix = Line + "\n";
+          static_cast<int>(std::strtol(Parts[2].c_str(), nullptr, 10));
+      Model.Kernels.BestSkewCsrKernelName = Parts[3];
+      continue;
     }
+    if (Parts.size() == 5 && Parts[0] == "kernel_spmm") {
+      FormatKind Kind;
+      index_t Width =
+          static_cast<index_t>(std::strtol(Parts[1].c_str(), nullptr, 10));
+      if (!parseFormatName(Parts[2], Kind) || Width < 2 ||
+          Width != SpmmSearchWidths[static_cast<std::size_t>(
+                       spmmWidthIndex(Width))]) {
+        Error = "malformed kernel_spmm line: '" + Line + "'";
+        return false;
+      }
+      std::size_t F = static_cast<std::size_t>(Kind);
+      std::size_t W = static_cast<std::size_t>(spmmWidthIndex(Width));
+      Model.Kernels.BestSpmmKernel[F][W] =
+          static_cast<int>(std::strtol(Parts[3].c_str(), nullptr, 10));
+      Model.Kernels.BestSpmmKernelName[F][W] = Parts[4];
+      continue;
+    }
+    RulesetPrefix = Line + "\n";
+    break;
   }
 
   // The remainder of the stream is the ruleset.

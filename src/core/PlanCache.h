@@ -52,6 +52,12 @@ struct PlanFingerprint {
   std::int16_t DiaFillBucket = 0;   ///< ER_DIA in eighth steps.
   std::int16_t EllFillBucket = 0;   ///< ER_ELL in eighth steps.
   std::int16_t BsrFillBucket = 0;   ///< ER_BSR in eighth steps.
+  /// Batch-width bucket (0 for single-vector SpMV; SpMM tunes key on the
+  /// register-tile bucket serving the requested width). Width is a tuning
+  /// input, not a matrix feature: the same structure tuned at k=1 and k=8
+  /// can legitimately bind different formats and kernels, so the buckets
+  /// must not collide.
+  std::int16_t WidthBucket = 0;
 
   friend bool operator==(const PlanFingerprint &,
                          const PlanFingerprint &) = default;

@@ -71,6 +71,20 @@ Status Smat<T>::validateTuneInput(const CsrMatrix<T> &A,
         formatString("TuneOptions: TuneBudgetSeconds must be finite and "
                      "non-negative (got %g)",
                      Opts.TuneBudgetSeconds));
+  if (Opts.BatchWidth < 1)
+    return Status::error(
+        ErrorCode::InvalidArgument,
+        formatString("TuneOptions: BatchWidth must be at least 1 (got %d)",
+                     static_cast<int>(Opts.BatchWidth)));
+  // Guard the dense-block size computations (NumCols * BatchWidth and the
+  // 2*nnz*K flop count) against overflow from absurd widths.
+  constexpr index_t MaxBatchWidth = 65536;
+  if (Opts.BatchWidth > MaxBatchWidth)
+    return Status::error(
+        ErrorCode::InvalidArgument,
+        formatString("TuneOptions: BatchWidth must be at most %d (got %d)",
+                     static_cast<int>(MaxBatchWidth),
+                     static_cast<int>(Opts.BatchWidth)));
   return Status::success();
 }
 
@@ -161,6 +175,14 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
   bool Leading = false;
   if (Cache) {
     Fp = fingerprintFeatures(Features.Features);
+    // The batch width is a tuning input, not a matrix feature, so it is
+    // stamped onto the fingerprint here rather than in fingerprintFeatures:
+    // the same structure tuned at k=1 and k=8 may bind different plans, and
+    // a warm tune at a new width must miss only the width bucket.
+    Fp.WidthBucket =
+        Opts.BatchWidth > 1
+            ? static_cast<std::int16_t>(1 + spmmWidthIndex(Opts.BatchWidth))
+            : std::int16_t(0);
     if (!Opts.ForceMeasure) {
       PlanProbe Probe = Cache->lookupOrLead(Fp);
       if (Probe.Hit) {
@@ -337,6 +359,20 @@ TunedSpmv<float> smat::SMAT_sCSR_SpMV(const Smat<float> &Tuner,
   return Tuner.tune(A, Opts);
 }
 
+TunedSpmv<double> smat::SMAT_dCSR_SpMM(const Smat<double> &Tuner,
+                                       const CsrMatrix<double> &A,
+                                       index_t BatchWidth, TuneOptions Opts) {
+  Opts.BatchWidth = BatchWidth;
+  return Tuner.tune(A, Opts);
+}
+
+TunedSpmv<float> smat::SMAT_sCSR_SpMM(const Smat<float> &Tuner,
+                                      const CsrMatrix<float> &A,
+                                      index_t BatchWidth, TuneOptions Opts) {
+  Opts.BatchWidth = BatchWidth;
+  return Tuner.tune(A, Opts);
+}
+
 namespace {
 
 template <typename T>
@@ -368,6 +404,24 @@ ErrorCode smat::SMAT_sCSR_SpMV_try(const Smat<float> &Tuner,
                                    TunedSpmv<float> &Out,
                                    std::string *ErrorMessage,
                                    const TuneOptions &Opts) {
+  return trySpmvEntry(Tuner, A, Out, ErrorMessage, Opts);
+}
+
+ErrorCode smat::SMAT_dCSR_SpMM_try(const Smat<double> &Tuner,
+                                   const CsrMatrix<double> &A,
+                                   index_t BatchWidth, TunedSpmv<double> &Out,
+                                   std::string *ErrorMessage,
+                                   TuneOptions Opts) {
+  Opts.BatchWidth = BatchWidth;
+  return trySpmvEntry(Tuner, A, Out, ErrorMessage, Opts);
+}
+
+ErrorCode smat::SMAT_sCSR_SpMM_try(const Smat<float> &Tuner,
+                                   const CsrMatrix<float> &A,
+                                   index_t BatchWidth, TunedSpmv<float> &Out,
+                                   std::string *ErrorMessage,
+                                   TuneOptions Opts) {
+  Opts.BatchWidth = BatchWidth;
   return trySpmvEntry(Tuner, A, Out, ErrorMessage, Opts);
 }
 

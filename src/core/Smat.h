@@ -146,6 +146,26 @@ public:
     Op->apply(X, Y);
   }
 
+  /// Computes Y := A*X for a row-major block of \p K right-hand sides:
+  /// \p X holds numCols() rows of K contiguous values each, \p Y numRows()
+  /// rows of K. Dispatches to the bound register-tiled SpMM kernel (K = 1
+  /// falls back to apply()). Any K >= 1 is supported regardless of the
+  /// TuneOptions::BatchWidth the tune optimized for — the width only
+  /// steers which kernel was considered optimal.
+  void multiply(const T *X, T *Y, index_t K) const {
+    assert(Op && "multiply() on a default or moved-from TunedSpmv");
+    assert(K >= 1 && "batch width must be at least 1");
+    Op->multiply(X, Y, K);
+  }
+
+  /// \returns the bound batched (SpMM) kernel's name; for operators without
+  /// a dedicated SpMM kernel this is the SpMV kernel driving the
+  /// column-at-a-time fallback.
+  const char *spmmKernelName() const {
+    assert(Op && "no operator bound");
+    return Op->spmmKernelName();
+  }
+
   /// \returns the bound operator (for storage/ownership introspection).
   const FormatOperator<T> &formatOperator() const {
     assert(Op && "no operator bound");
@@ -273,6 +293,18 @@ TunedSpmv<float> SMAT_sCSR_SpMV(const Smat<float> &Tuner,
                                 const CsrMatrix<float> &A,
                                 const TuneOptions &Opts = TuneOptions());
 
+/// Batched (multi-RHS) variants: tune for \p BatchWidth right-hand sides
+/// and return an operator whose multiply(X, Y, K) runs the register-tiled
+/// SpMM kernel the scoreboard picked for that width bucket. \p BatchWidth
+/// overrides Opts.BatchWidth; everything else in \p Opts applies as usual.
+TunedSpmv<double> SMAT_dCSR_SpMM(const Smat<double> &Tuner,
+                                 const CsrMatrix<double> &A,
+                                 index_t BatchWidth,
+                                 TuneOptions Opts = TuneOptions());
+TunedSpmv<float> SMAT_sCSR_SpMM(const Smat<float> &Tuner,
+                                const CsrMatrix<float> &A, index_t BatchWidth,
+                                TuneOptions Opts = TuneOptions());
+
 /// Error-code variants of the unified interface for callers that cannot
 /// unwind: validates \p A, fills \p Out on success, and \returns
 /// ErrorCode::Ok — or the failure code, with the full diagnostic copied to
@@ -286,6 +318,16 @@ ErrorCode SMAT_sCSR_SpMV_try(const Smat<float> &Tuner,
                              const CsrMatrix<float> &A, TunedSpmv<float> &Out,
                              std::string *ErrorMessage = nullptr,
                              const TuneOptions &Opts = TuneOptions());
+ErrorCode SMAT_dCSR_SpMM_try(const Smat<double> &Tuner,
+                             const CsrMatrix<double> &A, index_t BatchWidth,
+                             TunedSpmv<double> &Out,
+                             std::string *ErrorMessage = nullptr,
+                             TuneOptions Opts = TuneOptions());
+ErrorCode SMAT_sCSR_SpMM_try(const Smat<float> &Tuner,
+                             const CsrMatrix<float> &A, index_t BatchWidth,
+                             TunedSpmv<float> &Out,
+                             std::string *ErrorMessage = nullptr,
+                             TuneOptions Opts = TuneOptions());
 
 } // namespace smat
 

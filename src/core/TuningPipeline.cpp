@@ -135,9 +135,17 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
   Result.Best = Fallback;
 
   // Execute-and-measure over the plausible candidates (paper Figure 7's
-  // below-threshold path; Table 3 shows e.g. "CSR+COO" executions).
-  AlignedVector<T> X(static_cast<std::size_t>(A.NumCols), T(1));
-  AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows), T(0));
+  // below-threshold path; Table 3 shows e.g. "CSR+COO" executions). A
+  // batched tune (BatchWidth > 1) times the SpMM kernels over a Width-wide
+  // dense block instead, so the format choice reflects batched performance.
+  const index_t Width = std::max<index_t>(index_t(1), Ctx.Opts.BatchWidth);
+  const bool Batched = Width > 1;
+  AlignedVector<T> X(static_cast<std::size_t>(A.NumCols) *
+                         static_cast<std::size_t>(Width),
+                     T(1));
+  AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows) *
+                         static_cast<std::size_t>(Width),
+                     T(0));
 
   // Seconds of tune budget left; +inf when unlimited.
   auto TuneRemaining = [&]() -> double {
@@ -172,8 +180,9 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
       Result.NoisyTimings = Result.NoisyTimings || M.Noisy;
       Result.BudgetExhausted = Result.BudgetExhausted || M.BudgetHit;
       Result.MeasuredGflops.emplace_back(
-          Kind,
-          spmvGflops(static_cast<std::uint64_t>(A.nnz()), M.SecondsPerCall));
+          Kind, spmvGflops(static_cast<std::uint64_t>(A.nnz()) *
+                               static_cast<std::uint64_t>(Width),
+                           M.SecondsPerCall));
     } catch (...) {
       ++Result.DroppedCandidates;
     }
@@ -184,36 +193,70 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
         Model.Kernels.BestKernel[static_cast<int>(Kind)]);
   };
 
+  // The scoreboard's per-width SpMM pick, with the same bounds/precondition
+  // fallback to the basic entry the bind uses.
+  auto BestSpmmIdx = [&Model, Width](FormatKind Kind, const auto &List,
+                                     const auto &Mat) -> std::size_t {
+    int Idx = Model.Kernels.spmmKernelFor(Kind, Width);
+    if (Idx < 0 || static_cast<std::size_t>(Idx) >= List.size())
+      return 0;
+    if (!kernelPrecondsHold(List[static_cast<std::size_t>(Idx)].Preconds, Mat))
+      return 0;
+    return static_cast<std::size_t>(Idx);
+  };
+
   // The CSR candidate is measured with the kernel the bind would actually
   // choose, including the skew-aware load-balanced pick for matrices with a
   // high row-length CV — otherwise the measurement could crown CSR with a
   // kernel the plan never binds (or vice versa).
-  std::size_t CsrIdx = static_cast<std::size_t>(
-      Model.Kernels.csrKernelFor(Features.Features.rowCv()));
-  if (CsrIdx >= Kernels.Csr.size())
-    CsrIdx = BestIdx(FormatKind::CSR);
-  Consider(FormatKind::CSR, "measure.kernel.CSR",
-           [&] { Kernels.Csr[CsrIdx].Fn(A, X.data(), Y.data()); });
+  if (Batched) {
+    std::size_t I = BestSpmmIdx(FormatKind::CSR, Kernels.CsrSpmm, A);
+    Consider(FormatKind::CSR, "measure.kernel.CSR", [&, I] {
+      Kernels.CsrSpmm[I].Fn(A, X.data(), Y.data(), Width);
+    });
+  } else {
+    std::size_t CsrIdx = static_cast<std::size_t>(
+        Model.Kernels.csrKernelFor(Features.Features.rowCv()));
+    if (CsrIdx >= Kernels.Csr.size())
+      CsrIdx = BestIdx(FormatKind::CSR);
+    Consider(FormatKind::CSR, "measure.kernel.CSR",
+             [&, CsrIdx] { Kernels.Csr[CsrIdx].Fn(A, X.data(), Y.data()); });
+  }
   try {
     CooMatrix<T> Coo = csrToCoo(A);
     // Respect declared kernel preconditions (csrToCoo output always has
     // monotone rows, but the registration is the contract, not the builder).
-    std::size_t CooIdx = BestIdx(FormatKind::COO);
-    if (!kernelPrecondsHold(Kernels.Coo[CooIdx].Preconds, Coo))
-      CooIdx = 0;
-    Consider(FormatKind::COO, "measure.kernel.COO", [&] {
-      Kernels.Coo[CooIdx].Fn(Coo, X.data(), Y.data());
-    });
+    if (Batched) {
+      std::size_t I = BestSpmmIdx(FormatKind::COO, Kernels.CooSpmm, Coo);
+      Consider(FormatKind::COO, "measure.kernel.COO", [&, I] {
+        Kernels.CooSpmm[I].Fn(Coo, X.data(), Y.data(), Width);
+      });
+    } else {
+      std::size_t CooIdx = BestIdx(FormatKind::COO);
+      if (!kernelPrecondsHold(Kernels.Coo[CooIdx].Preconds, Coo))
+        CooIdx = 0;
+      Consider(FormatKind::COO, "measure.kernel.COO", [&, CooIdx] {
+        Kernels.Coo[CooIdx].Fn(Coo, X.data(), Y.data());
+      });
+    }
   } catch (...) {
     ++Result.DroppedCandidates; // COO conversion failed; CSR already ran.
   }
   try {
     if (diaPlausible(Features.Features)) {
       DiaMatrix<T> Dia;
-      if (csrToDia(A, Dia))
-        Consider(FormatKind::DIA, "measure.kernel.DIA", [&] {
-          Kernels.Dia[BestIdx(FormatKind::DIA)].Fn(Dia, X.data(), Y.data());
-        });
+      if (csrToDia(A, Dia)) {
+        if (Batched) {
+          std::size_t I = BestSpmmIdx(FormatKind::DIA, Kernels.DiaSpmm, Dia);
+          Consider(FormatKind::DIA, "measure.kernel.DIA", [&, I] {
+            Kernels.DiaSpmm[I].Fn(Dia, X.data(), Y.data(), Width);
+          });
+        } else {
+          Consider(FormatKind::DIA, "measure.kernel.DIA", [&] {
+            Kernels.Dia[BestIdx(FormatKind::DIA)].Fn(Dia, X.data(), Y.data());
+          });
+        }
+      }
     }
   } catch (...) {
     ++Result.DroppedCandidates;
@@ -224,12 +267,19 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
       if (csrToEll(A, Ell)) {
         // Same precondition contract as COO: a selected sliced kernel needs
         // the RowLen sidecar or falls back to the basic kernel.
-        std::size_t EllIdx = BestIdx(FormatKind::ELL);
-        if (!kernelPrecondsHold(Kernels.Ell[EllIdx].Preconds, Ell))
-          EllIdx = 0;
-        Consider(FormatKind::ELL, "measure.kernel.ELL", [&] {
-          Kernels.Ell[EllIdx].Fn(Ell, X.data(), Y.data());
-        });
+        if (Batched) {
+          std::size_t I = BestSpmmIdx(FormatKind::ELL, Kernels.EllSpmm, Ell);
+          Consider(FormatKind::ELL, "measure.kernel.ELL", [&, I] {
+            Kernels.EllSpmm[I].Fn(Ell, X.data(), Y.data(), Width);
+          });
+        } else {
+          std::size_t EllIdx = BestIdx(FormatKind::ELL);
+          if (!kernelPrecondsHold(Kernels.Ell[EllIdx].Preconds, Ell))
+            EllIdx = 0;
+          Consider(FormatKind::ELL, "measure.kernel.ELL", [&, EllIdx] {
+            Kernels.Ell[EllIdx].Fn(Ell, X.data(), Y.data());
+          });
+        }
       }
     }
   } catch (...) {
@@ -240,8 +290,12 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
       index_t BlockSize = chooseBsrBlockSize(A);
       BsrMatrix<T> Bsr;
       if (BlockSize > 0 && csrToBsr(A, Bsr, BlockSize))
+        // BSR has no batched kernel family; its multiply() degrades to
+        // column-at-a-time applies, so the batched candidate runs the SpMV
+        // kernel Width times to model that honestly.
         Consider(FormatKind::BSR, "measure.kernel.BSR", [&] {
-          Kernels.Bsr[BestIdx(FormatKind::BSR)].Fn(Bsr, X.data(), Y.data());
+          for (index_t J = 0; J < Width; ++J)
+            Kernels.Bsr[BestIdx(FormatKind::BSR)].Fn(Bsr, X.data(), Y.data());
         });
     }
   } catch (...) {
@@ -276,9 +330,9 @@ BindStageResult<T> BindStage::run(const TuningContext<T> &Ctx,
   // (with the long-standing guard fallback to CSR inside).
   try {
     fault::injectKernelFault("bind.operator");
-    Result.Op =
-        bindFormatOperator(Ctx.A, Requested, Ctx.Model.Kernels,
-                           Ctx.Opts.CsrMode, Ctx.MoveSource, CsrOverride);
+    Result.Op = bindFormatOperator(Ctx.A, Requested, Ctx.Model.Kernels,
+                                   Ctx.Opts.CsrMode, Ctx.MoveSource,
+                                   CsrOverride, Ctx.Opts.BatchWidth);
   } catch (...) {
     Result.Op = nullptr;
   }
@@ -293,17 +347,19 @@ BindStageResult<T> BindStage::run(const TuningContext<T> &Ctx,
     try {
       fault::injectKernelFault("bind.basic_csr");
       const auto &K = basicCsrKernel<T>();
+      const auto &KM = basicCsrSpmmKernel<T>();
       if (Ctx.Opts.CsrMode == CsrStorage::Owned) {
-        auto Owning = std::make_unique<CsrOwningOperator<T>>(CsrMatrix<T>(),
-                                                             K.Fn, K.Name);
+        auto Owning = std::make_unique<CsrOwningOperator<T>>(
+            CsrMatrix<T>(), K.Fn, K.Name, KM.Fn, KM.Name);
         if (Ctx.MoveSource)
           Owning->adoptMatrix(std::move(*Ctx.MoveSource));
         else
           Owning->adoptMatrix(CsrMatrix<T>(Ctx.A));
         Result.Op = std::move(Owning);
       } else {
-        Result.Op =
-            std::make_unique<CsrBorrowedOperator<T>>(Ctx.A, K.Fn, K.Name);
+        Result.Op = std::make_unique<CsrBorrowedOperator<T>>(Ctx.A, K.Fn,
+                                                             K.Name, KM.Fn,
+                                                             KM.Name);
       }
     } catch (...) {
       Result.Op = nullptr;

@@ -96,6 +96,14 @@ struct TuneOptions {
   /// checked between candidates, so a tune finishes within roughly 2x the
   /// budget in the worst case.
   double TuneBudgetSeconds = 0.0;
+  /// Number of right-hand sides the tune optimizes for (>= 1). Widths above
+  /// 1 make MeasureStage time the batched (SpMM) kernels — so the format
+  /// choice reflects batched performance — key the plan cache on the
+  /// register-tile width bucket, and bind the scoreboard's per-width SpMM
+  /// pick. 1 is the classic single-vector SpMV tune. Every bound operator
+  /// supports multiply() at any width regardless of this value; the width
+  /// only steers which plan is considered optimal.
+  index_t BatchWidth = 1;
 };
 
 /// Everything the stages read; one per tune() call.

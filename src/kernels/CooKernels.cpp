@@ -16,7 +16,9 @@
 #include <algorithm>
 #include <cstring>
 
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 
 namespace smat {
 namespace {
@@ -24,6 +26,13 @@ namespace {
 template <typename T>
 void zeroOut(T *SMAT_RESTRICT Y, index_t N) {
   std::memset(Y, 0, sizeof(T) * static_cast<std::size_t>(N));
+}
+
+template <typename T>
+void zeroOutBlock(T *SMAT_RESTRICT Y, index_t NumRows, index_t K) {
+  std::memset(Y, 0,
+              sizeof(T) * static_cast<std::size_t>(NumRows) *
+                  static_cast<std::size_t>(K));
 }
 
 template <typename T>
@@ -114,8 +123,13 @@ void cooOmpRowSplit(const CooMatrix<T> &A, const T *SMAT_RESTRICT X,
   const T *SMAT_RESTRICT Val = A.Values.data();
 #pragma omp parallel
   {
+#ifdef _OPENMP
     int ThreadCount = omp_get_num_threads();
     int ThreadId = omp_get_thread_num();
+#else
+    int ThreadCount = 1;
+    int ThreadId = 0;
+#endif
     // Zero this thread's row slice.
     index_t RowsPerThread = (A.NumRows + ThreadCount - 1) / ThreadCount;
     index_t RowBegin = std::min<index_t>(A.NumRows, ThreadId * RowsPerThread);
@@ -129,6 +143,80 @@ void cooOmpRowSplit(const CooMatrix<T> &A, const T *SMAT_RESTRICT X,
     const index_t *Last = std::lower_bound(Rows, Rows + Nnz, RowEnd);
     for (std::int64_t I = First - Rows, E = Last - Rows; I < E; ++I)
       Y[Rows[I]] += Val[I] * X[Cols[I]];
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SpMM (multi-RHS) kernels: X row-major NumCols x K, Y row-major NumRows x K.
+//===----------------------------------------------------------------------===//
+
+/// Strategy-free batched COO: per-entry accumulate with a runtime-K inner
+/// loop. Order-independent, so it has no structural preconditions.
+template <typename T>
+void cooSpmmBasic(const CooMatrix<T> &A, const T *SMAT_RESTRICT X,
+                  T *SMAT_RESTRICT Y, index_t K) {
+  zeroOutBlock(Y, A.NumRows, K);
+  std::int64_t Nnz = A.nnz();
+  const index_t *SMAT_RESTRICT Rows = A.Rows.data();
+  const index_t *SMAT_RESTRICT Cols = A.Cols.data();
+  const T *SMAT_RESTRICT Val = A.Values.data();
+  for (std::int64_t I = 0; I < Nnz; ++I) {
+    const T V = Val[I];
+    const T *SMAT_RESTRICT Xr = X + static_cast<std::size_t>(Cols[I]) * K;
+    T *SMAT_RESTRICT Yr = Y + static_cast<std::size_t>(Rows[I]) * K;
+    for (index_t J = 0; J < K; ++J)
+      Yr[J] += V * Xr[J];
+  }
+}
+
+/// Register-tiled batched COO with deferred row stores: the K-wide tile is
+/// accumulated in registers across a run of equal row indices and flushed
+/// (with +=, so unsorted inputs stay correct) when the row changes.
+template <typename T, int K>
+void cooSpmmSegmentedTiled(const CooMatrix<T> &A, const T *SMAT_RESTRICT X,
+                           T *SMAT_RESTRICT Y) {
+  zeroOutBlock(Y, A.NumRows, K);
+  std::int64_t Nnz = A.nnz();
+  if (Nnz == 0)
+    return;
+  const index_t *SMAT_RESTRICT Rows = A.Rows.data();
+  const index_t *SMAT_RESTRICT Cols = A.Cols.data();
+  const T *SMAT_RESTRICT Val = A.Values.data();
+  index_t Current = Rows[0];
+  T Acc[K] = {};
+  for (std::int64_t I = 0; I < Nnz; ++I) {
+    const index_t Row = Rows[I];
+    if (Row != Current) {
+      T *SMAT_RESTRICT Yr = Y + static_cast<std::size_t>(Current) * K;
+      for (int J = 0; J < K; ++J) {
+        Yr[J] += Acc[J];
+        Acc[J] = T(0);
+      }
+      Current = Row;
+    }
+    const T V = Val[I];
+    const T *SMAT_RESTRICT Xr = X + static_cast<std::size_t>(Cols[I]) * K;
+    for (int J = 0; J < K; ++J)
+      Acc[J] += V * Xr[J];
+  }
+  T *SMAT_RESTRICT Yr = Y + static_cast<std::size_t>(Current) * K;
+  for (int J = 0; J < K; ++J)
+    Yr[J] += Acc[J];
+}
+
+template <typename T>
+void cooSpmmTiled(const CooMatrix<T> &A, const T *X, T *Y, index_t K) {
+  switch (K) {
+  case 2:
+    return cooSpmmSegmentedTiled<T, 2>(A, X, Y);
+  case 4:
+    return cooSpmmSegmentedTiled<T, 4>(A, X, Y);
+  case 8:
+    return cooSpmmSegmentedTiled<T, 8>(A, X, Y);
+  case 16:
+    return cooSpmmSegmentedTiled<T, 16>(A, X, Y);
+  default:
+    return cooSpmmBasic(A, X, Y, K);
   }
 }
 
@@ -151,3 +239,16 @@ template std::vector<smat::Kernel<smat::CooKernelFn<float>>>
 smat::makeCooKernels<float>();
 template std::vector<smat::Kernel<smat::CooKernelFn<double>>>
 smat::makeCooKernels<double>();
+
+template <typename T>
+std::vector<smat::Kernel<smat::CooSpmmFn<T>>> smat::makeCooSpmmKernels() {
+  return {
+      {"coo_spmm_basic", OptNone, &cooSpmmBasic<T>},
+      {"coo_spmm_tiled", OptUnroll | OptBranchFree, &cooSpmmTiled<T>},
+  };
+}
+
+template std::vector<smat::Kernel<smat::CooSpmmFn<float>>>
+smat::makeCooSpmmKernels<float>();
+template std::vector<smat::Kernel<smat::CooSpmmFn<double>>>
+smat::makeCooSpmmKernels<double>();

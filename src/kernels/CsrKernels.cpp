@@ -60,6 +60,9 @@ void csrUnroll4(const CsrMatrix<T> &A, const T *SMAT_RESTRICT X,
 }
 
 /// Software-prefetches the column/value streams a fixed distance ahead.
+/// Entries at I >= Nnz - Distance have no in-bounds prefetch target, so each
+/// row is split at that point into a prefetching main loop and a plain tail
+/// instead of paying a bounds check on every nonzero.
 template <typename T>
 void csrPrefetch(const CsrMatrix<T> &A, const T *SMAT_RESTRICT X,
                  T *SMAT_RESTRICT Y) {
@@ -67,16 +70,19 @@ void csrPrefetch(const CsrMatrix<T> &A, const T *SMAT_RESTRICT X,
   const index_t *SMAT_RESTRICT Col = A.ColIdx.data();
   const T *SMAT_RESTRICT Val = A.Values.data();
   index_t Nnz = static_cast<index_t>(A.nnz());
+  const index_t PrefetchEnd = Nnz > Distance ? Nnz - Distance : 0;
   for (index_t Row = 0; Row < A.NumRows; ++Row) {
     T Sum = T(0);
-    for (index_t I = A.RowPtr[Row], E = A.RowPtr[Row + 1]; I < E; ++I) {
-      if (I + Distance < Nnz) {
-        __builtin_prefetch(&Val[I + Distance], 0, 0);
-        __builtin_prefetch(&Col[I + Distance], 0, 0);
-        __builtin_prefetch(&X[Col[I + Distance]], 0, 0);
-      }
+    index_t I = A.RowPtr[Row];
+    const index_t E = A.RowPtr[Row + 1];
+    for (index_t P = std::min(E, PrefetchEnd); I < P; ++I) {
+      __builtin_prefetch(&Val[I + Distance], 0, 0);
+      __builtin_prefetch(&Col[I + Distance], 0, 0);
+      __builtin_prefetch(&X[Col[I + Distance]], 0, 0);
       Sum += Val[I] * X[Col[I]];
     }
+    for (; I < E; ++I)
+      Sum += Val[I] * X[Col[I]];
     Y[Row] = Sum;
   }
 }
@@ -365,6 +371,206 @@ void csrNnzSplit(const CsrMatrix<T> &A, const T *SMAT_RESTRICT X,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// SpMM (multi-RHS) kernels: Y := A * X with X row-major NumCols x K and Y
+// row-major NumRows x K. The K values of one X/Y row are contiguous, so a
+// compile-time K keeps the whole accumulator tile in registers while the
+// matrix streams once for all K vectors.
+//===----------------------------------------------------------------------===//
+
+/// Accumulates entries [I, E) into a K-wide register tile and stores it to
+/// \p Out (which must hold K values).
+template <typename T, int K>
+inline void csrSpmmPartialTiled(const index_t *SMAT_RESTRICT Col,
+                                const T *SMAT_RESTRICT Val, std::int64_t I,
+                                std::int64_t E, const T *SMAT_RESTRICT X,
+                                T *SMAT_RESTRICT Out) {
+  T Acc[K] = {};
+  for (; I < E; ++I) {
+    const T V = Val[I];
+    const T *SMAT_RESTRICT Xr = X + static_cast<std::size_t>(Col[I]) * K;
+    for (int J = 0; J < K; ++J)
+      Acc[J] += V * Xr[J];
+  }
+  for (int J = 0; J < K; ++J)
+    Out[J] = Acc[J];
+}
+
+/// Runtime-K tail path for widths outside the tiled set {2, 4, 8, 16}.
+template <typename T>
+inline void csrSpmmPartialGeneric(const index_t *SMAT_RESTRICT Col,
+                                  const T *SMAT_RESTRICT Val, std::int64_t I,
+                                  std::int64_t E, const T *SMAT_RESTRICT X,
+                                  T *SMAT_RESTRICT Out, index_t K) {
+  for (index_t J = 0; J < K; ++J)
+    Out[J] = T(0);
+  for (; I < E; ++I) {
+    const T V = Val[I];
+    const T *SMAT_RESTRICT Xr = X + static_cast<std::size_t>(Col[I]) * K;
+    for (index_t J = 0; J < K; ++J)
+      Out[J] += V * Xr[J];
+  }
+}
+
+template <typename T>
+inline void csrSpmmPartial(const index_t *SMAT_RESTRICT Col,
+                           const T *SMAT_RESTRICT Val, std::int64_t I,
+                           std::int64_t E, const T *SMAT_RESTRICT X,
+                           T *SMAT_RESTRICT Out, index_t K) {
+  switch (K) {
+  case 2:
+    return csrSpmmPartialTiled<T, 2>(Col, Val, I, E, X, Out);
+  case 4:
+    return csrSpmmPartialTiled<T, 4>(Col, Val, I, E, X, Out);
+  case 8:
+    return csrSpmmPartialTiled<T, 8>(Col, Val, I, E, X, Out);
+  case 16:
+    return csrSpmmPartialTiled<T, 16>(Col, Val, I, E, X, Out);
+  default:
+    return csrSpmmPartialGeneric(Col, Val, I, E, X, Out, K);
+  }
+}
+
+template <typename T, int K>
+void csrSpmmRowRangeTiled(const CsrMatrix<T> &A, const T *SMAT_RESTRICT X,
+                          T *SMAT_RESTRICT Y, index_t RowBegin,
+                          index_t RowEnd) {
+  const index_t *SMAT_RESTRICT Col = A.ColIdx.data();
+  const T *SMAT_RESTRICT Val = A.Values.data();
+  for (index_t Row = RowBegin; Row < RowEnd; ++Row)
+    csrSpmmPartialTiled<T, K>(Col, Val, A.RowPtr[Row], A.RowPtr[Row + 1], X,
+                              Y + static_cast<std::size_t>(Row) * K);
+}
+
+template <typename T>
+void csrSpmmRowRangeGeneric(const CsrMatrix<T> &A, const T *SMAT_RESTRICT X,
+                            T *SMAT_RESTRICT Y, index_t K, index_t RowBegin,
+                            index_t RowEnd) {
+  const index_t *SMAT_RESTRICT Col = A.ColIdx.data();
+  const T *SMAT_RESTRICT Val = A.Values.data();
+  for (index_t Row = RowBegin; Row < RowEnd; ++Row)
+    csrSpmmPartialGeneric(Col, Val, A.RowPtr[Row], A.RowPtr[Row + 1], X,
+                          Y + static_cast<std::size_t>(Row) * K, K);
+}
+
+/// Width dispatch hoisted to the row-range level so short rows do not pay a
+/// per-row switch.
+template <typename T>
+void csrSpmmRowRange(const CsrMatrix<T> &A, const T *X, T *Y, index_t K,
+                     index_t RowBegin, index_t RowEnd) {
+  switch (K) {
+  case 2:
+    return csrSpmmRowRangeTiled<T, 2>(A, X, Y, RowBegin, RowEnd);
+  case 4:
+    return csrSpmmRowRangeTiled<T, 4>(A, X, Y, RowBegin, RowEnd);
+  case 8:
+    return csrSpmmRowRangeTiled<T, 8>(A, X, Y, RowBegin, RowEnd);
+  case 16:
+    return csrSpmmRowRangeTiled<T, 16>(A, X, Y, RowBegin, RowEnd);
+  default:
+    return csrSpmmRowRangeGeneric(A, X, Y, K, RowBegin, RowEnd);
+  }
+}
+
+/// Strategy-free reference: runtime-K inner loop, serial rows.
+template <typename T>
+void csrSpmmBasic(const CsrMatrix<T> &A, const T *X, T *Y, index_t K) {
+  csrSpmmRowRangeGeneric(A, X, Y, K, 0, A.NumRows);
+}
+
+/// Serial register-tiled variant.
+template <typename T>
+void csrSpmmTiled(const CsrMatrix<T> &A, const T *X, T *Y, index_t K) {
+  csrSpmmRowRange(A, X, Y, K, 0, A.NumRows);
+}
+
+/// Row-split threading over fixed-size row blocks; each block runs the
+/// register-tiled range kernel. Collapses to a serial block loop without
+/// OpenMP.
+template <typename T>
+void csrSpmmOmpRowSplit(const CsrMatrix<T> &A, const T *X, T *Y, index_t K) {
+  constexpr index_t BlockRows = 64;
+  const index_t M = A.NumRows;
+  const index_t NumBlocks = (M + BlockRows - 1) / BlockRows;
+#pragma omp parallel for schedule(static)
+  for (index_t B = 0; B < NumBlocks; ++B)
+    csrSpmmRowRange(A, X, Y, K, B * BlockRows,
+                    std::min<index_t>(M, (B + 1) * BlockRows));
+}
+
+/// Nnz-balanced SpMM: same merge-path chunk/carry partition as csrNnzSplit,
+/// but each carry is a K-wide partial tile instead of a scalar.
+template <typename T>
+void csrSpmmNnzSplit(const CsrMatrix<T> &A, const T *SMAT_RESTRICT X,
+                     T *SMAT_RESTRICT Y, index_t K) {
+  const index_t *SMAT_RESTRICT RowPtr = A.RowPtr.data();
+  const index_t *SMAT_RESTRICT Col = A.ColIdx.data();
+  const T *SMAT_RESTRICT Val = A.Values.data();
+  const index_t M = A.NumRows;
+  const std::int64_t Nnz = A.nnz();
+  if (M == 0)
+    return;
+
+  constexpr std::int64_t MinEntriesPerChunk = 512;
+  std::int64_t Chunks = std::min<std::int64_t>(
+      csrMaxThreads(),
+      std::max<std::int64_t>(1, Nnz / MinEntriesPerChunk));
+  if (Chunks <= 1) {
+    csrSpmmRowRange(A, X, Y, K, 0, M);
+    return;
+  }
+
+  std::vector<std::int64_t> Begin(static_cast<std::size_t>(Chunks) + 1);
+  std::vector<index_t> Split(static_cast<std::size_t>(Chunks) + 1);
+  Begin[0] = 0;
+  Split[0] = 0;
+  Begin[static_cast<std::size_t>(Chunks)] = Nnz;
+  Split[static_cast<std::size_t>(Chunks)] = M;
+  for (std::int64_t C = 1; C < Chunks; ++C) {
+    std::int64_t B = Nnz * C / Chunks;
+    Begin[static_cast<std::size_t>(C)] = B;
+    Split[static_cast<std::size_t>(C)] = static_cast<index_t>(
+        std::upper_bound(RowPtr, RowPtr + M + 1, static_cast<index_t>(B)) -
+        RowPtr - 1);
+  }
+
+  // Carry[C*K .. C*K+K): chunk C's partial tile for boundary row
+  // Split[C+1].
+  std::vector<T> Carry(static_cast<std::size_t>(Chunks) * K, T(0));
+
+#pragma omp parallel for schedule(static, 1)
+  for (std::int64_t C = 0; C < Chunks; ++C) {
+    const std::int64_t ChunkBegin = Begin[static_cast<std::size_t>(C)];
+    const std::int64_t ChunkEnd = Begin[static_cast<std::size_t>(C) + 1];
+    const index_t RowBegin = Split[static_cast<std::size_t>(C)];
+    const index_t RowEnd = Split[static_cast<std::size_t>(C) + 1];
+
+    for (index_t Row = RowBegin; Row < RowEnd; ++Row) {
+      const std::int64_t I = std::max<std::int64_t>(RowPtr[Row], ChunkBegin);
+      csrSpmmPartial(Col, Val, I, RowPtr[Row + 1], X,
+                     Y + static_cast<std::size_t>(Row) * K, K);
+    }
+
+    if (RowEnd < M) {
+      const std::int64_t I =
+          std::max<std::int64_t>(RowPtr[RowEnd], ChunkBegin);
+      csrSpmmPartial(Col, Val, I, ChunkEnd, X,
+                     Carry.data() + static_cast<std::size_t>(C) * K, K);
+    }
+  }
+
+  for (std::int64_t C = 0; C < Chunks; ++C) {
+    const index_t Row = Split[static_cast<std::size_t>(C) + 1];
+    if (Row < M) {
+      const T *SMAT_RESTRICT Part =
+          Carry.data() + static_cast<std::size_t>(C) * K;
+      T *SMAT_RESTRICT Yr = Y + static_cast<std::size_t>(Row) * K;
+      for (index_t J = 0; J < K; ++J)
+        Yr[J] += Part[J];
+    }
+  }
+}
+
 } // namespace
 } // namespace smat
 
@@ -400,3 +606,19 @@ template std::vector<smat::Kernel<smat::CsrKernelFn<float>>>
 smat::makeCsrKernels<float>();
 template std::vector<smat::Kernel<smat::CsrKernelFn<double>>>
 smat::makeCsrKernels<double>();
+
+template <typename T>
+std::vector<smat::Kernel<smat::CsrSpmmFn<T>>> smat::makeCsrSpmmKernels() {
+  return {
+      {"csr_spmm_basic", OptNone, &csrSpmmBasic<T>},
+      {"csr_spmm_tiled", OptUnroll, &csrSpmmTiled<T>},
+      {"csr_spmm_omp_rowsplit", OptThreads | OptUnroll, &csrSpmmOmpRowSplit<T>},
+      {"csr_spmm_nnzsplit", OptThreads | OptLoadBalance | OptUnroll,
+       &csrSpmmNnzSplit<T>},
+  };
+}
+
+template std::vector<smat::Kernel<smat::CsrSpmmFn<float>>>
+smat::makeCsrSpmmKernels<float>();
+template std::vector<smat::Kernel<smat::CsrSpmmFn<double>>>
+smat::makeCsrSpmmKernels<double>();

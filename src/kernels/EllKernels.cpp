@@ -217,6 +217,144 @@ void ellPrefetch(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// SpMM (multi-RHS) kernels: X row-major NumCols x K, Y row-major NumRows x K.
+//===----------------------------------------------------------------------===//
+
+/// Strategy-free batched ELL: column-major packed sweep, runtime-K inner
+/// loop, mirroring ellBasic. Padding entries multiply by zero harmlessly.
+template <typename T>
+void ellSpmmBasic(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
+                  T *SMAT_RESTRICT Y, index_t K) {
+  std::memset(Y, 0,
+              sizeof(T) * static_cast<std::size_t>(A.NumRows) *
+                  static_cast<std::size_t>(K));
+  for (index_t C = 0; C < A.Width; ++C) {
+    const T *SMAT_RESTRICT Data =
+        A.Data.data() + static_cast<std::size_t>(C) * A.NumRows;
+    const index_t *SMAT_RESTRICT Idx =
+        A.Indices.data() + static_cast<std::size_t>(C) * A.NumRows;
+    for (index_t Row = 0; Row < A.NumRows; ++Row) {
+      const T V = Data[Row];
+      const T *SMAT_RESTRICT Xr = X + static_cast<std::size_t>(Idx[Row]) * K;
+      T *SMAT_RESTRICT Yr = Y + static_cast<std::size_t>(Row) * K;
+      for (index_t J = 0; J < K; ++J)
+        Yr[J] += V * Xr[J];
+    }
+  }
+}
+
+/// Register-tiled row-major (interchanged) pass over rows [RowBegin,
+/// RowEnd): each row's K-wide accumulator lives in registers across the
+/// packed width, with one Y store per row. \p Width bounds the packed
+/// columns swept per row (the global padded width, or the row's own length
+/// when the RowLen sidecar is present).
+template <typename T, int K, typename WidthFn>
+void ellSpmmRowsTiled(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
+                      T *SMAT_RESTRICT Y, index_t RowBegin, index_t RowEnd,
+                      WidthFn Width) {
+  const T *SMAT_RESTRICT Data = A.Data.data();
+  const index_t *SMAT_RESTRICT Idx = A.Indices.data();
+  for (index_t Row = RowBegin; Row < RowEnd; ++Row) {
+    T Acc[K] = {};
+    const index_t W = Width(Row);
+    for (index_t C = 0; C < W; ++C) {
+      const std::size_t I = static_cast<std::size_t>(C) * A.NumRows + Row;
+      const T V = Data[I];
+      const T *SMAT_RESTRICT Xr = X + static_cast<std::size_t>(Idx[I]) * K;
+      for (int J = 0; J < K; ++J)
+        Acc[J] += V * Xr[J];
+    }
+    T *SMAT_RESTRICT Yr = Y + static_cast<std::size_t>(Row) * K;
+    for (int J = 0; J < K; ++J)
+      Yr[J] = Acc[J];
+  }
+}
+
+/// Runtime-K tail of the row-major pass.
+template <typename T, typename WidthFn>
+void ellSpmmRowsGeneric(const EllMatrix<T> &A, const T *SMAT_RESTRICT X,
+                        T *SMAT_RESTRICT Y, index_t K, index_t RowBegin,
+                        index_t RowEnd, WidthFn Width) {
+  const T *SMAT_RESTRICT Data = A.Data.data();
+  const index_t *SMAT_RESTRICT Idx = A.Indices.data();
+  for (index_t Row = RowBegin; Row < RowEnd; ++Row) {
+    T *SMAT_RESTRICT Yr = Y + static_cast<std::size_t>(Row) * K;
+    for (index_t J = 0; J < K; ++J)
+      Yr[J] = T(0);
+    const index_t W = Width(Row);
+    for (index_t C = 0; C < W; ++C) {
+      const std::size_t I = static_cast<std::size_t>(C) * A.NumRows + Row;
+      const T V = Data[I];
+      const T *SMAT_RESTRICT Xr = X + static_cast<std::size_t>(Idx[I]) * K;
+      for (index_t J = 0; J < K; ++J)
+        Yr[J] += V * Xr[J];
+    }
+  }
+}
+
+template <typename T, typename WidthFn>
+void ellSpmmRowRange(const EllMatrix<T> &A, const T *X, T *Y, index_t K,
+                     index_t RowBegin, index_t RowEnd, WidthFn Width) {
+  switch (K) {
+  case 2:
+    return ellSpmmRowsTiled<T, 2>(A, X, Y, RowBegin, RowEnd, Width);
+  case 4:
+    return ellSpmmRowsTiled<T, 4>(A, X, Y, RowBegin, RowEnd, Width);
+  case 8:
+    return ellSpmmRowsTiled<T, 8>(A, X, Y, RowBegin, RowEnd, Width);
+  case 16:
+    return ellSpmmRowsTiled<T, 16>(A, X, Y, RowBegin, RowEnd, Width);
+  default:
+    return ellSpmmRowsGeneric(A, X, Y, K, RowBegin, RowEnd, Width);
+  }
+}
+
+template <typename T>
+void ellSpmmTiled(const EllMatrix<T> &A, const T *X, T *Y, index_t K) {
+  ellSpmmRowRange(A, X, Y, K, 0, A.NumRows,
+                  [&](index_t) { return A.Width; });
+}
+
+/// Row-blocked threading over the register-tiled row pass.
+template <typename T>
+void ellSpmmOmpRows(const EllMatrix<T> &A, const T *X, T *Y, index_t K) {
+  constexpr index_t BlockRows = 128;
+  const index_t M = A.NumRows;
+  const index_t NumBlocks = (M + BlockRows - 1) / BlockRows;
+#pragma omp parallel for schedule(static)
+  for (index_t B = 0; B < NumBlocks; ++B)
+    ellSpmmRowRange(A, X, Y, K, B * BlockRows,
+                    std::min<index_t>(M, (B + 1) * BlockRows),
+                    [&](index_t) { return A.Width; });
+}
+
+/// Sliced batched ELL: each row sweeps only its own length from the RowLen
+/// sidecar (PrecondRowLengths), so skewed rows do not drag the whole block
+/// through padding columns.
+template <typename T>
+void ellSpmmSliced(const EllMatrix<T> &A, const T *X, T *Y, index_t K) {
+  const index_t *SMAT_RESTRICT RowLen = A.RowLen.data();
+  ellSpmmRowRange(A, X, Y, K, 0, A.NumRows,
+                  [RowLen](index_t Row) { return RowLen[Row]; });
+}
+
+/// Threaded sliced batched ELL: dynamic slice scheduling balances skewed
+/// row lengths.
+template <typename T>
+void ellSpmmSlicedOmp(const EllMatrix<T> &A, const T *X, T *Y, index_t K) {
+  const index_t *SMAT_RESTRICT RowLen = A.RowLen.data();
+  const index_t NumSlices = (A.NumRows + EllSliceRows - 1) / EllSliceRows;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (index_t Slice = 0; Slice < NumSlices; ++Slice) {
+    const index_t SliceBegin = Slice * EllSliceRows;
+    const index_t SliceEnd =
+        std::min<index_t>(SliceBegin + EllSliceRows, A.NumRows);
+    ellSpmmRowRange(A, X, Y, K, SliceBegin, SliceEnd,
+                    [RowLen](index_t Row) { return RowLen[Row]; });
+  }
+}
+
 } // namespace
 } // namespace smat
 
@@ -240,3 +378,22 @@ template std::vector<smat::Kernel<smat::EllKernelFn<float>>>
 smat::makeEllKernels<float>();
 template std::vector<smat::Kernel<smat::EllKernelFn<double>>>
 smat::makeEllKernels<double>();
+
+template <typename T>
+std::vector<smat::Kernel<smat::EllSpmmFn<T>>> smat::makeEllSpmmKernels() {
+  return {
+      {"ell_spmm_basic", OptNone, &ellSpmmBasic<T>},
+      {"ell_spmm_tiled", OptUnroll | OptInterchange, &ellSpmmTiled<T>},
+      {"ell_spmm_omp_rows", OptThreads | OptUnroll | OptInterchange,
+       &ellSpmmOmpRows<T>},
+      {"ell_spmm_sliced", OptUnroll | OptLoadBalance, &ellSpmmSliced<T>,
+       PrecondRowLengths},
+      {"ell_spmm_sliced_omp", OptThreads | OptUnroll | OptLoadBalance,
+       &ellSpmmSlicedOmp<T>, PrecondRowLengths},
+  };
+}
+
+template std::vector<smat::Kernel<smat::EllSpmmFn<float>>>
+smat::makeEllSpmmKernels<float>();
+template std::vector<smat::Kernel<smat::EllSpmmFn<double>>>
+smat::makeEllSpmmKernels<double>();

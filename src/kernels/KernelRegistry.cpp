@@ -54,6 +54,10 @@ template <typename T> const KernelTable<T> &smat::kernelTable() {
     Built.Dia = makeDiaKernels<T>();
     Built.Ell = makeEllKernels<T>();
     Built.Bsr = makeBsrKernels<T>();
+    Built.CsrSpmm = makeCsrSpmmKernels<T>();
+    Built.CooSpmm = makeCooSpmmKernels<T>();
+    Built.DiaSpmm = makeDiaSpmmKernels<T>();
+    Built.EllSpmm = makeEllSpmmKernels<T>();
     return Built;
   }();
   return Table;

@@ -101,6 +101,20 @@ using EllKernelFn = void (*)(const EllMatrix<T> &, const T *, T *);
 template <typename T>
 using BsrKernelFn = void (*)(const BsrMatrix<T> &, const T *, T *);
 
+/// Batched (multi-RHS) SpMM kernels: Y := A * X where X is a row-major
+/// dense block of K right-hand sides (NumCols x K) and Y is the row-major
+/// result block (NumRows x K). Keeping the K values of one matrix row
+/// contiguous is what lets the register-tiled variants hold the whole tile
+/// in registers while the matrix is streamed once.
+template <typename T>
+using CsrSpmmFn = void (*)(const CsrMatrix<T> &, const T *, T *, index_t);
+template <typename T>
+using CooSpmmFn = void (*)(const CooMatrix<T> &, const T *, T *, index_t);
+template <typename T>
+using DiaSpmmFn = void (*)(const DiaMatrix<T> &, const T *, T *, index_t);
+template <typename T>
+using EllSpmmFn = void (*)(const EllMatrix<T> &, const T *, T *, index_t);
+
 /// One kernel-library entry: an implementation plus its strategy tag set
 /// and any structural preconditions it demands of the input.
 template <typename FnT> struct Kernel {
@@ -119,6 +133,12 @@ template <typename T> std::vector<Kernel<DiaKernelFn<T>>> makeDiaKernels();
 template <typename T> std::vector<Kernel<EllKernelFn<T>>> makeEllKernels();
 template <typename T> std::vector<Kernel<BsrKernelFn<T>>> makeBsrKernels();
 
+/// SpMM (batched) kernel builders. Same index-0-is-basic convention.
+template <typename T> std::vector<Kernel<CsrSpmmFn<T>>> makeCsrSpmmKernels();
+template <typename T> std::vector<Kernel<CooSpmmFn<T>>> makeCooSpmmKernels();
+template <typename T> std::vector<Kernel<DiaSpmmFn<T>>> makeDiaSpmmKernels();
+template <typename T> std::vector<Kernel<EllSpmmFn<T>>> makeEllSpmmKernels();
+
 /// The full kernel library for one value type.
 template <typename T> struct KernelTable {
   std::vector<Kernel<CsrKernelFn<T>>> Csr;
@@ -127,9 +147,17 @@ template <typename T> struct KernelTable {
   std::vector<Kernel<EllKernelFn<T>>> Ell;
   std::vector<Kernel<BsrKernelFn<T>>> Bsr;
 
+  /// Batched (SpMM) implementations. BSR has no dedicated SpMM family; the
+  /// binding layer falls back to column-at-a-time SpMV there.
+  std::vector<Kernel<CsrSpmmFn<T>>> CsrSpmm;
+  std::vector<Kernel<CooSpmmFn<T>>> CooSpmm;
+  std::vector<Kernel<DiaSpmmFn<T>>> DiaSpmm;
+  std::vector<Kernel<EllSpmmFn<T>>> EllSpmm;
+
   /// Total number of implementations across all formats.
   std::size_t size() const {
-    return Csr.size() + Coo.size() + Dia.size() + Ell.size() + Bsr.size();
+    return Csr.size() + Coo.size() + Dia.size() + Ell.size() + Bsr.size() +
+           CsrSpmm.size() + CooSpmm.size() + DiaSpmm.size() + EllSpmm.size();
   }
 };
 
@@ -142,6 +170,12 @@ template <typename T> const KernelTable<T> &kernelTable();
 /// preconditions and works on any validated CSR matrix.
 template <typename T> const Kernel<CsrKernelFn<T>> &basicCsrKernel() {
   return kernelTable<T>().Csr.front();
+}
+
+/// \returns the basic (strategy-free) CSR SpMM kernel, index 0 of the CSR
+/// SpMM list. Precondition-free, so it is always bindable.
+template <typename T> const Kernel<CsrSpmmFn<T>> &basicCsrSpmmKernel() {
+  return kernelTable<T>().CsrSpmm.front();
 }
 
 extern template const KernelTable<float> &kernelTable<float>();

@@ -97,10 +97,12 @@ KernelSelection smat::searchOptimalKernels(double MinSeconds,
   KernelSelection Selection;
   const KernelTable<T> &Kernels = kernelTable<T>();
   // Split the overall budget evenly across the per-format searches (five
-  // formats plus the skewed CSR pass) so a slow early format cannot starve
-  // the later ones completely.
+  // formats, the skewed CSR pass, and one share per SpMM batch width) so a
+  // slow early format cannot starve the later ones completely.
   double FormatBudget =
-      BudgetSeconds > 0.0 ? BudgetSeconds / (NumFormats + 1) : 0.0;
+      BudgetSeconds > 0.0
+          ? BudgetSeconds / (NumFormats + 1 + NumSpmmWidths)
+          : 0.0;
 
   // Format-friendly probe structures, all sized to overflow L2 a little so
   // the memory system participates in the measurement.
@@ -152,6 +154,31 @@ KernelSelection smat::searchOptimalKernels(double MinSeconds,
     Selection.BestSkewCsrKernel = Result.BestIndex;
     Selection.BestSkewCsrKernelName =
         Measurements[static_cast<std::size_t>(Result.BestIndex)].Name;
+  }
+
+  // SpMM pass: one scoreboard per (format, batch width) over the same
+  // format-friendly probes. Register-tile payoff is width-dependent (wider
+  // tiles raise arithmetic intensity but also register pressure), so each
+  // width gets its own pick. Each width's budget share is split across the
+  // four SpMM families.
+  for (int W = 0; W < NumSpmmWidths; ++W) {
+    const index_t Width = SpmmSearchWidths[static_cast<std::size_t>(W)];
+    const double FamilyBudget = FormatBudget > 0.0 ? FormatBudget / 4 : 0.0;
+    auto PickSpmm = [&](FormatKind Kind, auto &KernelList,
+                        const auto &Probe) {
+      auto Measurements = measureSpmmKernelTable<T>(KernelList, Probe, Width,
+                                                    MinSeconds, FamilyBudget);
+      ScoreboardResult Result = runScoreboard(Measurements);
+      std::size_t Idx = static_cast<std::size_t>(Kind);
+      Selection.BestSpmmKernel[Idx][static_cast<std::size_t>(W)] =
+          Result.BestIndex;
+      Selection.BestSpmmKernelName[Idx][static_cast<std::size_t>(W)] =
+          Measurements[static_cast<std::size_t>(Result.BestIndex)].Name;
+    };
+    PickSpmm(FormatKind::CSR, Kernels.CsrSpmm, CsrProbe);
+    PickSpmm(FormatKind::COO, Kernels.CooSpmm, CooProbe);
+    PickSpmm(FormatKind::DIA, Kernels.DiaSpmm, DiaProbe);
+    PickSpmm(FormatKind::ELL, Kernels.EllSpmm, EllProbe);
   }
   return Selection;
 }

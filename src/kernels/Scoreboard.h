@@ -104,10 +104,73 @@ measureKernelTable(const std::vector<Kernel<FnT>> &Kernels, const MatrixT &A,
   return Table;
 }
 
+/// Measures every SpMM kernel of one format on one matrix at batch width
+/// \p Width and returns the performance record table. GFLOPS are effective:
+/// 2 * nnz * Width flops per call. Same resilience contract as
+/// measureKernelTable.
+template <typename T, typename MatrixT, typename FnT>
+std::vector<KernelMeasurement>
+measureSpmmKernelTable(const std::vector<Kernel<FnT>> &Kernels,
+                       const MatrixT &A, index_t Width,
+                       double MinSeconds = 2e-3, double BudgetSeconds = 0.0) {
+  AlignedVector<T> X(static_cast<std::size_t>(A.NumCols) *
+                         static_cast<std::size_t>(Width),
+                     T(1));
+  AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows) *
+                         static_cast<std::size_t>(Width),
+                     T(0));
+  for (std::size_t I = 0; I != X.size(); ++I)
+    X[I] = T(0.01) * static_cast<T>(I % 100) - T(0.5);
+
+  WallTimer Budget;
+  std::vector<KernelMeasurement> Table;
+  Table.reserve(Kernels.size());
+  for (const Kernel<FnT> &K : Kernels) {
+    if (!kernelPrecondsHold(K.Preconds, A)) {
+      Table.push_back({K.Name, K.Flags, 0.0});
+      continue;
+    }
+    if (BudgetSeconds > 0.0 && Budget.seconds() >= BudgetSeconds) {
+      Table.push_back({K.Name, K.Flags, 0.0});
+      continue;
+    }
+    try {
+      double Seconds = measureSecondsPerCall(
+          [&] {
+            fault::injectKernelFault("scoreboard.kernel");
+            K.Fn(A, X.data(), Y.data(), Width);
+          },
+          MinSeconds);
+      Table.push_back({K.Name, K.Flags,
+                       spmvGflops(static_cast<std::uint64_t>(A.nnz()) *
+                                      static_cast<std::uint64_t>(Width),
+                                  Seconds)});
+    } catch (...) {
+      Table.push_back({K.Name, K.Flags, 0.0});
+    }
+  }
+  return Table;
+}
+
 /// Row-length coefficient of variation (sqrt(var_RD)/aver_RD) above which
 /// the runtime considers a matrix skewed and binds the skew-selected CSR
 /// kernel (KernelSelection::BestSkewCsrKernel) instead of the general one.
 inline constexpr double SkewRowCvThreshold = 1.0;
+
+/// The register-tile widths the SpMM scoreboard searches. Other batch
+/// widths route to a bucket via spmmWidthIndex.
+inline constexpr std::array<index_t, 4> SpmmSearchWidths = {2, 4, 8, 16};
+inline constexpr int NumSpmmWidths =
+    static_cast<int>(SpmmSearchWidths.size());
+
+/// Index into SpmmSearchWidths of the bucket serving batch width \p K:
+/// the smallest searched width >= K, saturating at the widest tile.
+inline int spmmWidthIndex(index_t K) {
+  for (int W = 0; W < NumSpmmWidths; ++W)
+    if (K <= SpmmSearchWidths[static_cast<std::size_t>(W)])
+      return W;
+  return NumSpmmWidths - 1;
+}
 
 /// The per-format kernels selected by the scoreboard on this machine.
 struct KernelSelection {
@@ -120,6 +183,19 @@ struct KernelSelection {
   int BestSkewCsrKernel = -1;
   std::string BestSkewCsrKernelName;
 
+  /// Per-width SpMM kernel picks, indexed [FormatKind][SpmmSearchWidths
+  /// slot]. -1 = that width was not searched; the runtime then binds the
+  /// basic SpMM kernel of the format. BSR has no SpMM family, so its row
+  /// stays unsearched.
+  std::array<std::array<int, NumSpmmWidths>, NumFormats> BestSpmmKernel = {
+      {{{-1, -1, -1, -1}},
+       {{-1, -1, -1, -1}},
+       {{-1, -1, -1, -1}},
+       {{-1, -1, -1, -1}},
+       {{-1, -1, -1, -1}}}};
+  std::array<std::array<std::string, NumSpmmWidths>, NumFormats>
+      BestSpmmKernelName{};
+
   /// The CSR kernel index to bind for a matrix with row-length coefficient
   /// of variation \p RowCv.
   int csrKernelFor(double RowCv) const {
@@ -127,6 +203,13 @@ struct KernelSelection {
     return (BestSkewCsrKernel >= 0 && RowCv > SkewRowCvThreshold)
                ? BestSkewCsrKernel
                : Base;
+  }
+
+  /// The SpMM kernel index (into the format's SpMM list) to bind for batch
+  /// width \p K, or -1 when that width bucket was never searched.
+  int spmmKernelFor(FormatKind Kind, index_t K) const {
+    return BestSpmmKernel[static_cast<std::size_t>(Kind)]
+                         [static_cast<std::size_t>(spmmWidthIndex(K))];
   }
 };
 

@@ -38,6 +38,10 @@ public:
   T *allocate(std::size_t N) {
     if (N == 0)
       return nullptr;
+    // N * sizeof(T) (and the alignment round-up below) must not wrap; a
+    // wrapped size would allocate a tiny block for a huge request.
+    if (N > (static_cast<std::size_t>(-1) - (Alignment - 1)) / sizeof(T))
+      throw std::bad_alloc();
     // std::aligned_alloc requires the size to be a multiple of the alignment.
     std::size_t Bytes = N * sizeof(T);
     std::size_t Rounded = (Bytes + Alignment - 1) / Alignment * Alignment;
@@ -48,14 +52,22 @@ public:
   }
 
   void deallocate(T *P, std::size_t) noexcept { std::free(P); }
-
-  friend bool operator==(const AlignedAllocator &, const AlignedAllocator &) {
-    return true;
-  }
-  friend bool operator!=(const AlignedAllocator &, const AlignedAllocator &) {
-    return false;
-  }
 };
+
+// Cross-type comparisons (the allocator requirements compare rebound
+// allocators, e.g. AlignedAllocator<int> against a node allocator). Hidden
+// same-type friends would be ambiguous here: the converting constructor
+// makes both operands convertible to either side.
+template <typename T, typename U, std::size_t Alignment>
+bool operator==(const AlignedAllocator<T, Alignment> &,
+                const AlignedAllocator<U, Alignment> &) noexcept {
+  return true;
+}
+template <typename T, typename U, std::size_t Alignment>
+bool operator!=(const AlignedAllocator<T, Alignment> &,
+                const AlignedAllocator<U, Alignment> &) noexcept {
+  return false;
+}
 
 /// The vector type used for all numeric payload arrays in the library.
 template <typename T> using AlignedVector = std::vector<T, AlignedAllocator<T>>;

@@ -7,6 +7,7 @@
 #include "core/Smat.h"
 #include "core/Trainer.h"
 #include "matrix/Generators.h"
+#include "ml/ModelIO.h"
 #include "support/Str.h"
 
 #include "TestUtil.h"
@@ -203,6 +204,70 @@ TEST(LearningModelTest, SkewKernelLineRoundTripsAndStaysOptional) {
   ASSERT_TRUE(parseModel(Legacy, Reparsed, Error)) << Error;
   EXPECT_EQ(Reparsed.Kernels.BestSkewCsrKernel, -1);
   EXPECT_EQ(Reparsed.Rules.size(), Model.Rules.size());
+}
+
+TEST(LearningModelTest, SpmmKernelLinesRoundTripAndStayOptional) {
+  // A partial SpMM search (only some width buckets recorded) round-trips:
+  // written buckets come back exactly, unwritten ones stay at the -1
+  // "unsearched" default.
+  LearningModel Model = sharedTrainResult().Model;
+  Model.Kernels.BestSpmmKernel[static_cast<std::size_t>(FormatKind::CSR)][2] =
+      3; // width 8
+  Model.Kernels
+      .BestSpmmKernelName[static_cast<std::size_t>(FormatKind::CSR)][2] =
+      "csr_spmm_nnzsplit";
+  Model.Kernels.BestSpmmKernel[static_cast<std::size_t>(FormatKind::ELL)][0] =
+      1; // width 2
+  Model.Kernels
+      .BestSpmmKernelName[static_cast<std::size_t>(FormatKind::ELL)][0] =
+      "ell_spmm_tiled";
+  LearningModel Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseModel(serializeModel(Model), Parsed, Error)) << Error;
+  for (int F = 0; F < NumFormats; ++F)
+    for (int W = 0; W < NumSpmmWidths; ++W) {
+      SCOPED_TRACE("format " + std::to_string(F) + " width bucket " +
+                   std::to_string(W));
+      EXPECT_EQ(Parsed.Kernels.BestSpmmKernel[static_cast<std::size_t>(F)]
+                                             [static_cast<std::size_t>(W)],
+                Model.Kernels.BestSpmmKernel[static_cast<std::size_t>(F)]
+                                            [static_cast<std::size_t>(W)]);
+      EXPECT_EQ(Parsed.Kernels.BestSpmmKernelName[static_cast<std::size_t>(F)]
+                                                 [static_cast<std::size_t>(W)],
+                Model.Kernels.BestSpmmKernelName[static_cast<std::size_t>(F)]
+                                                [static_cast<std::size_t>(W)]);
+    }
+  EXPECT_EQ(Parsed.Rules.size(), Model.Rules.size());
+
+  // A pre-SpMM model text has no kernel_spmm lines and parses with every
+  // bucket unsearched — backward compatibility with committed models.
+  for (int F = 0; F < NumFormats; ++F)
+    for (int W = 0; W < NumSpmmWidths; ++W) {
+      Model.Kernels.BestSpmmKernel[static_cast<std::size_t>(F)]
+                                  [static_cast<std::size_t>(W)] = -1;
+      Model.Kernels.BestSpmmKernelName[static_cast<std::size_t>(F)]
+                                      [static_cast<std::size_t>(W)]
+          .clear();
+    }
+  std::string Legacy = serializeModel(Model);
+  EXPECT_EQ(Legacy.find("kernel_spmm"), std::string::npos);
+  LearningModel Reparsed;
+  ASSERT_TRUE(parseModel(Legacy, Reparsed, Error)) << Error;
+  EXPECT_EQ(
+      Reparsed.Kernels.BestSpmmKernel[static_cast<std::size_t>(
+          FormatKind::CSR)][2],
+      -1);
+  EXPECT_EQ(Reparsed.Rules.size(), Model.Rules.size());
+
+  // A kernel_spmm line whose width is not a searched bucket value is
+  // malformed, not silently rebucketed. Inserted right before the ruleset,
+  // where the optional-line lookahead reads it.
+  std::string Bad = serializeModel(Model);
+  std::size_t RulesetPos = Bad.find(serializeRuleSet(Model.Rules));
+  ASSERT_NE(RulesetPos, std::string::npos);
+  Bad.insert(RulesetPos, "kernel_spmm 6 CSR 1 csr_spmm_tiled\n");
+  LearningModel Rejected;
+  EXPECT_FALSE(parseModel(Bad, Rejected, Error));
 }
 
 TEST(LearningModelTest, FileRoundTripAndSmatFromFile) {

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <set>
 
 #ifdef _OPENMP
@@ -205,6 +206,151 @@ TEST_P(KernelCorrectness, FloatKernelsMatchReference) {
   }
 }
 
+// --- Batched (SpMM) kernels: every family member against a column-by-column
+// --- dense reference, for register-tiled widths (2/4/8/16), the generic-K
+// --- tail (1/3/5), and every test shape.
+
+namespace {
+
+constexpr std::array<index_t, 7> SpmmTestWidths = {1, 2, 3, 4, 5, 8, 16};
+
+/// Row-major NumRows x K reference block: column J of the result is one
+/// dense SpMV of column J of X.
+std::vector<double> denseSpmmBlock(const CsrMatrix<double> &A,
+                                   const std::vector<double> &X, index_t K) {
+  std::vector<double> Y(
+      static_cast<std::size_t>(A.NumRows) * static_cast<std::size_t>(K), 0.0);
+  std::vector<double> Xc(static_cast<std::size_t>(A.NumCols));
+  for (index_t J = 0; J < K; ++J) {
+    for (index_t C = 0; C < A.NumCols; ++C)
+      Xc[static_cast<std::size_t>(C)] =
+          X[static_cast<std::size_t>(C) * static_cast<std::size_t>(K) +
+            static_cast<std::size_t>(J)];
+    std::vector<double> Yc = denseSpmv(A, Xc);
+    for (index_t R = 0; R < A.NumRows; ++R)
+      Y[static_cast<std::size_t>(R) * static_cast<std::size_t>(K) +
+        static_cast<std::size_t>(J)] = Yc[static_cast<std::size_t>(R)];
+  }
+  return Y;
+}
+
+} // namespace
+
+TEST_P(KernelCorrectness, CsrSpmmKernelsMatchReference) {
+  int MatIdx = GetParam();
+  auto Mats = testMatrices();
+  const auto &[Name, A] = Mats[static_cast<std::size_t>(MatIdx)];
+  for (index_t K : SpmmTestWidths) {
+    auto X = randomVector<double>(
+        static_cast<std::size_t>(A.NumCols) * static_cast<std::size_t>(K),
+        200 + static_cast<std::uint64_t>(K));
+    auto Expected = denseSpmmBlock(A, X, K);
+    for (const auto &M : kernelTable<double>().CsrSpmm) {
+      std::vector<double> Y(Expected.size(), -7.0);
+      M.Fn(A, X.data(), Y.data(), K);
+      SCOPED_TRACE(std::string(M.Name) + " k=" + std::to_string(K) + " on " +
+                   Name);
+      expectVectorsNear(Expected, Y, 1e-12);
+    }
+  }
+}
+
+TEST_P(KernelCorrectness, CooSpmmKernelsMatchReference) {
+  int MatIdx = GetParam();
+  auto Mats = testMatrices();
+  const auto &[Name, A] = Mats[static_cast<std::size_t>(MatIdx)];
+  CooMatrix<double> Coo = csrToCoo(A);
+  for (index_t K : SpmmTestWidths) {
+    auto X = randomVector<double>(
+        static_cast<std::size_t>(A.NumCols) * static_cast<std::size_t>(K),
+        210 + static_cast<std::uint64_t>(K));
+    auto Expected = denseSpmmBlock(A, X, K);
+    for (const auto &M : kernelTable<double>().CooSpmm) {
+      std::vector<double> Y(Expected.size(), -7.0);
+      M.Fn(Coo, X.data(), Y.data(), K);
+      SCOPED_TRACE(std::string(M.Name) + " k=" + std::to_string(K) + " on " +
+                   Name);
+      expectVectorsNear(Expected, Y, 1e-12);
+    }
+  }
+}
+
+TEST_P(KernelCorrectness, DiaSpmmKernelsMatchReference) {
+  int MatIdx = GetParam();
+  auto Mats = testMatrices();
+  const auto &[Name, A] = Mats[static_cast<std::size_t>(MatIdx)];
+  DiaMatrix<double> Dia;
+  if (!csrToDia(A, Dia, /*MaxFillRatio=*/0.0, /*MaxDiags=*/0))
+    GTEST_SKIP() << "not DIA-representable";
+  for (index_t K : SpmmTestWidths) {
+    auto X = randomVector<double>(
+        static_cast<std::size_t>(A.NumCols) * static_cast<std::size_t>(K),
+        220 + static_cast<std::uint64_t>(K));
+    auto Expected = denseSpmmBlock(A, X, K);
+    for (const auto &M : kernelTable<double>().DiaSpmm) {
+      std::vector<double> Y(Expected.size(), -7.0);
+      M.Fn(Dia, X.data(), Y.data(), K);
+      SCOPED_TRACE(std::string(M.Name) + " k=" + std::to_string(K) + " on " +
+                   Name);
+      expectVectorsNear(Expected, Y, 1e-12);
+    }
+  }
+}
+
+TEST_P(KernelCorrectness, EllSpmmKernelsMatchReference) {
+  int MatIdx = GetParam();
+  auto Mats = testMatrices();
+  const auto &[Name, A] = Mats[static_cast<std::size_t>(MatIdx)];
+  EllMatrix<double> Ell;
+  if (!csrToEll(A, Ell, /*MaxFillRatio=*/0.0))
+    GTEST_SKIP() << "not ELL-representable";
+  for (index_t K : SpmmTestWidths) {
+    auto X = randomVector<double>(
+        static_cast<std::size_t>(A.NumCols) * static_cast<std::size_t>(K),
+        230 + static_cast<std::uint64_t>(K));
+    auto Expected = denseSpmmBlock(A, X, K);
+    for (const auto &M : kernelTable<double>().EllSpmm) {
+      if (!kernelPrecondsHold(M.Preconds, Ell))
+        continue; // Sliced kernels need the RowLen sidecar.
+      std::vector<double> Y(Expected.size(), -7.0);
+      M.Fn(Ell, X.data(), Y.data(), K);
+      SCOPED_TRACE(std::string(M.Name) + " k=" + std::to_string(K) + " on " +
+                   Name);
+      expectVectorsNear(Expected, Y, 1e-12);
+    }
+  }
+}
+
+TEST_P(KernelCorrectness, FloatSpmmKernelsMatchReference) {
+  int MatIdx = GetParam();
+  auto Mats = testMatrices();
+  const auto &[Name, Ad] = Mats[static_cast<std::size_t>(MatIdx)];
+  CsrMatrix<float> A = convertValueType<float>(Ad);
+  const index_t K = 8;
+  auto X = randomVector<float>(
+      static_cast<std::size_t>(A.NumCols) * static_cast<std::size_t>(K), 240);
+  // Per-column float reference.
+  std::vector<float> Expected(
+      static_cast<std::size_t>(A.NumRows) * static_cast<std::size_t>(K), 0.0f);
+  {
+    std::vector<float> Xc(static_cast<std::size_t>(A.NumCols));
+    for (index_t J = 0; J < K; ++J) {
+      for (index_t C = 0; C < A.NumCols; ++C)
+        Xc[static_cast<std::size_t>(C)] = X[static_cast<std::size_t>(C * K + J)];
+      std::vector<float> Yc = denseSpmv(A, Xc);
+      for (index_t R = 0; R < A.NumRows; ++R)
+        Expected[static_cast<std::size_t>(R * K + J)] =
+            Yc[static_cast<std::size_t>(R)];
+    }
+  }
+  for (const auto &M : kernelTable<float>().CsrSpmm) {
+    std::vector<float> Y(Expected.size(), -7.0f);
+    M.Fn(A, X.data(), Y.data(), K);
+    SCOPED_TRACE(std::string(M.Name) + " on " + Name);
+    expectVectorsNear(Expected, Y, 1e-4f);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllShapes, KernelCorrectness, ::testing::Range(0, 13),
                          [](const ::testing::TestParamInfo<int> &Info) {
                            auto Mats = testMatrices();
@@ -269,6 +415,10 @@ TEST(KernelRegistryTest, EveryFormatHasBasicKernelFirst) {
   EXPECT_EQ(T.Dia.front().Flags, OptNone);
   EXPECT_EQ(T.Ell.front().Flags, OptNone);
   EXPECT_EQ(T.Bsr.front().Flags, OptNone);
+  EXPECT_EQ(T.CsrSpmm.front().Flags, OptNone);
+  EXPECT_EQ(T.CooSpmm.front().Flags, OptNone);
+  EXPECT_EQ(T.DiaSpmm.front().Flags, OptNone);
+  EXPECT_EQ(T.EllSpmm.front().Flags, OptNone);
 }
 
 TEST(KernelRegistryTest, LibraryHasPaperScaleVariantCount) {
@@ -289,6 +439,14 @@ TEST(KernelRegistryTest, KernelNamesUnique) {
   for (const auto &K : T.Ell)
     EXPECT_TRUE(Names.insert(K.Name).second) << K.Name;
   for (const auto &K : T.Bsr)
+    EXPECT_TRUE(Names.insert(K.Name).second) << K.Name;
+  for (const auto &K : T.CsrSpmm)
+    EXPECT_TRUE(Names.insert(K.Name).second) << K.Name;
+  for (const auto &K : T.CooSpmm)
+    EXPECT_TRUE(Names.insert(K.Name).second) << K.Name;
+  for (const auto &K : T.DiaSpmm)
+    EXPECT_TRUE(Names.insert(K.Name).second) << K.Name;
+  for (const auto &K : T.EllSpmm)
     EXPECT_TRUE(Names.insert(K.Name).second) << K.Name;
 }
 
@@ -372,9 +530,11 @@ TEST(LoadBalanceTest, SlicedEllKernelsDeclareRowLengthPrecond) {
   // recorded at zero GFLOPS and thus never selectable.
   auto Table = measureKernelTable<double>(kernelTable<double>().Ell, Bare,
                                           /*MinSeconds=*/1e-5);
-  for (std::size_t I = 0; I != Table.size(); ++I)
-    if (kernelTable<double>().Ell[I].Preconds & PrecondRowLengths)
+  for (std::size_t I = 0; I != Table.size(); ++I) {
+    if (kernelTable<double>().Ell[I].Preconds & PrecondRowLengths) {
       EXPECT_EQ(Table[I].Gflops, 0.0) << Table[I].Name;
+    }
+  }
 }
 
 // --- Scoreboard (paper Section 5.2) --------------------------------------------

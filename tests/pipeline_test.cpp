@@ -410,6 +410,56 @@ TEST(SmatCacheTest, ForceMeasureBypassesLookupButStillInserts) {
       << "the fresh ground-truth plan refreshes the cache";
 }
 
+TEST(SmatCacheTest, BatchWidthBucketsMissIndependently) {
+  const Smat<double> &Tuner = sharedTuner();
+  PlanCache Cache;
+  TuneOptions Opts;
+  Opts.Cache = &Cache;
+  Opts.MeasureMinSeconds = 1e-4;
+
+  CsrMatrix<double> A = banded(1400, 3);
+  // Cold single-vector tune fills the SpMV (width-0) bucket.
+  EXPECT_FALSE(Tuner.tune(A, Opts).report().PlanCacheHit);
+
+  // First batched tune at k=8: same structure, new width bucket — a miss
+  // that re-measures, not a collision with the SpMV plan.
+  TuneOptions Batch8 = Opts;
+  Batch8.BatchWidth = 8;
+  TunedSpmv<double> Cold8 = Tuner.tune(A, Batch8);
+  EXPECT_FALSE(Cold8.report().PlanCacheHit)
+      << "a new batch width must miss its own bucket";
+
+  // Warm tune at the same width hits, and the per-stage timings show what a
+  // hit skips: prediction and measurement never run, while features (the
+  // fingerprint input) and the bind still do.
+  TunedSpmv<double> Warm8 = Tuner.tune(A, Batch8);
+  EXPECT_TRUE(Warm8.report().PlanCacheHit);
+  EXPECT_TRUE(Warm8.report().MeasuredGflops.empty());
+  EXPECT_EQ(Warm8.report().PredictSeconds, 0.0);
+  EXPECT_EQ(Warm8.report().MeasureSeconds, 0.0);
+  EXPECT_GT(Warm8.report().FeatureSeconds, 0.0);
+  EXPECT_GT(Warm8.report().BindSeconds, 0.0);
+  EXPECT_EQ(Warm8.format(), Cold8.format());
+
+  // k=5 rounds up into the same <=8 register-tile bucket: also a hit.
+  TuneOptions Batch5 = Opts;
+  Batch5.BatchWidth = 5;
+  EXPECT_TRUE(Tuner.tune(A, Batch5).report().PlanCacheHit);
+
+  // k=16 is a different bucket: misses again.
+  TuneOptions Batch16 = Opts;
+  Batch16.BatchWidth = 16;
+  EXPECT_FALSE(Tuner.tune(A, Batch16).report().PlanCacheHit);
+
+  // The original SpMV bucket stayed warm through all of it.
+  EXPECT_TRUE(Tuner.tune(A, Opts).report().PlanCacheHit);
+
+  PlanCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Misses, 3u) << "one per distinct width bucket";
+  EXPECT_EQ(Stats.Hits, 3u);
+  EXPECT_EQ(Cache.size(), 3u);
+}
+
 // --- Stage timing in the report ---------------------------------------------
 
 TEST(ReportTest, StageTimingsPopulatedAndConsistent) {

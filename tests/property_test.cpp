@@ -10,6 +10,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "amg/SpGemm.h"
+#include "core/FormatOperator.h"
+#include "core/Smat.h"
 #include "features/FeatureExtractor.h"
 #include "kernels/KernelRegistry.h"
 #include "kernels/Scoreboard.h"
@@ -21,6 +23,8 @@
 #include "TestUtil.h"
 
 #include <gtest/gtest.h>
+
+#include <array>
 
 using namespace smat;
 using namespace smat::test;
@@ -101,6 +105,108 @@ TEST_P(MatrixProperties, AllKernelsAgree) {
     K.Fn(Bsr, X.data(), Y.data());
     SCOPED_TRACE(K.Name);
     expectVectorsNear(Expected, Y, 1e-12);
+  }
+}
+
+// Batched multiply of every format operator equals k independent SpMV
+// applies of the same operator, for register-tiled widths (2/4/8/16) and the
+// generic-K tail (1/3). The reference path gathers column J of the row-major
+// block, runs the operator's own apply(), and compares against column J of
+// multiply()'s output — so any disagreement is the SpMM kernel's fault, not
+// a kernel-selection difference.
+namespace {
+
+constexpr std::array<index_t, 6> BatchTestWidths = {1, 2, 3, 4, 8, 16};
+
+void expectBatchedMatchesApply(const FormatOperator<double> &Op,
+                               std::uint64_t Seed, double Tol = 1e-10) {
+  const index_t Rows = Op.numRows();
+  const index_t Cols = Op.numCols();
+  for (index_t K : BatchTestWidths) {
+    auto X = randomVector<double>(
+        static_cast<std::size_t>(Cols) * static_cast<std::size_t>(K),
+        Seed + static_cast<std::uint64_t>(K));
+    std::vector<double> Y(
+        static_cast<std::size_t>(Rows) * static_cast<std::size_t>(K), -9.0);
+    Op.multiply(X.data(), Y.data(), K);
+
+    std::vector<double> Xc(static_cast<std::size_t>(Cols));
+    std::vector<double> Yc(static_cast<std::size_t>(Rows));
+    std::vector<double> YCol(static_cast<std::size_t>(Rows));
+    for (index_t J = 0; J < K; ++J) {
+      for (index_t C = 0; C < Cols; ++C)
+        Xc[static_cast<std::size_t>(C)] =
+            X[static_cast<std::size_t>(C) * static_cast<std::size_t>(K) +
+              static_cast<std::size_t>(J)];
+      Op.apply(Xc.data(), Yc.data());
+      for (index_t R = 0; R < Rows; ++R)
+        YCol[static_cast<std::size_t>(R)] =
+            Y[static_cast<std::size_t>(R) * static_cast<std::size_t>(K) +
+              static_cast<std::size_t>(J)];
+      SCOPED_TRACE("k=" + std::to_string(K) + " column " + std::to_string(J));
+      expectVectorsNear(Yc, YCol, Tol);
+    }
+  }
+}
+
+} // namespace
+
+TEST_P(MatrixProperties, BatchedMultiplyMatchesRepeatedApply) {
+  CsrMatrix<double> A = seededMatrix(GetParam());
+  // Point every SpMM pick past the basic entry so the register-tiled
+  // variants are what multiply() dispatches to (the bind clamps and falls
+  // back to basic when a family has no such member or a precondition fails).
+  KernelSelection Sel;
+  for (int F = 0; F < NumFormats; ++F)
+    for (int W = 0; W < NumSpmmWidths; ++W)
+      Sel.BestSpmmKernel[static_cast<std::size_t>(F)]
+                        [static_cast<std::size_t>(W)] = 1;
+  for (FormatKind Kind : {FormatKind::CSR, FormatKind::COO, FormatKind::DIA,
+                          FormatKind::ELL, FormatKind::BSR}) {
+    auto Op = bindFormatOperator(A, Kind, Sel, CsrStorage::Borrowed,
+                                 static_cast<CsrMatrix<double> *>(nullptr),
+                                 /*CsrKernelOverride=*/-1, /*BatchWidth=*/8);
+    ASSERT_TRUE(Op);
+    SCOPED_TRACE(std::string("requested format ") +
+                 std::string(formatName(Kind)) + ", bound " +
+                 std::string(formatName(Op->kind())) + ", spmm kernel " +
+                 Op->spmmKernelName());
+    expectBatchedMatchesApply(*Op, GetParam() * 31 + 800);
+  }
+}
+
+// The same invariant through the public tune path with BatchWidth set,
+// including the shapes the SpMM tier exists for (FEM blocks, skew, empty).
+TEST(BatchedTuneTest, TunedMultiplyMatchesIndependentSpmv) {
+  LearningModel Model;
+  Model.ConfidenceThreshold = 2.0; // Never confident: measurement decides.
+  Model.refreshRuleMetadata();
+  // Give the width buckets register-tiled picks, as a scoreboard search
+  // would (searchOptimalKernels is too slow for a unit test).
+  for (int F = 0; F < NumFormats; ++F)
+    for (int W = 0; W < NumSpmmWidths; ++W)
+      Model.Kernels.BestSpmmKernel[static_cast<std::size_t>(F)]
+                                  [static_cast<std::size_t>(W)] = 1;
+  const Smat<double> Tuner(Model);
+
+  std::vector<std::pair<std::string, CsrMatrix<double>>> Mats;
+  Mats.emplace_back("fem_blocks", blockFem(40, 6, 2.0, 51));
+  Mats.emplace_back("banded", banded(300, 3));
+  Mats.emplace_back("skewed_hubs", spikedRows(400, 2, 150, 0.02, 52));
+  Mats.emplace_back("empty", CsrMatrix<double>(12, 9));
+
+  for (const auto &[Name, A] : Mats) {
+    SCOPED_TRACE(Name);
+    for (index_t Width : {index_t(2), index_t(8)}) {
+      TuneOptions Opts;
+      Opts.MeasureMinSeconds = 1e-4;
+      Opts.BatchWidth = Width;
+      TunedSpmv<double> Op = SMAT_dCSR_SpMM(Tuner, A, Width, Opts);
+      SCOPED_TRACE("tuned at width " + std::to_string(Width) + ", format " +
+                   std::string(formatName(Op.format())) + ", spmm kernel " +
+                   Op.spmmKernelName());
+      expectBatchedMatchesApply(Op.formatOperator(), 900 + Width);
+    }
   }
 }
 

@@ -14,7 +14,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <set>
+#include <type_traits>
+#include <utility>
 
 using namespace smat;
 
@@ -168,6 +171,60 @@ TEST(AlignedAllocTest, GrowsAndKeepsContents) {
     V.push_back(I);
   for (int I = 0; I < 1000; ++I)
     EXPECT_EQ(V[static_cast<std::size_t>(I)], I);
+}
+
+TEST(AlignedAllocTest, AlignmentHoldsAcrossElementTypes) {
+  // Odd-sized elements stress the round-up path: the rounded byte count is
+  // not a multiple of sizeof(T), yet data() must still start on the line.
+  struct Odd {
+    char C[7];
+  };
+  AlignedVector<std::uint8_t> Bytes(129);
+  AlignedVector<std::int16_t> Shorts(77);
+  AlignedVector<Odd> Odds(13);
+  AlignedVector<long double> Longs(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(Bytes.data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(Shorts.data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(Odds.data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(Longs.data()) % 64, 0u);
+}
+
+TEST(AlignedAllocTest, RebindThroughContainersKeepsAlignment) {
+  // Node-based containers rebind AlignedAllocator<T> to their node type; the
+  // rebound allocator must interoperate (equality) and stay aligned.
+  using IntAlloc = AlignedAllocator<int>;
+  using NodeAlloc = IntAlloc::rebind<std::pair<const int, double>>::other;
+  static_assert(
+      std::is_same_v<NodeAlloc, AlignedAllocator<std::pair<const int, double>>>,
+      "rebind must preserve the alignment parameter");
+  EXPECT_TRUE(IntAlloc() == NodeAlloc()); // Stateless: always interchangeable.
+
+  std::vector<std::vector<double, AlignedAllocator<double>>,
+              AlignedAllocator<std::vector<double, AlignedAllocator<double>>>>
+      Nested(3);
+  for (auto &Inner : Nested) {
+    Inner.assign(17, 0.5);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(Inner.data()) % 64, 0u);
+  }
+}
+
+TEST(AlignedAllocTest, ZeroSizeAllocateReturnsNull) {
+  AlignedAllocator<double> Alloc;
+  double *P = Alloc.allocate(0);
+  EXPECT_EQ(P, nullptr);
+  Alloc.deallocate(P, 0); // free(nullptr) is a no-op; must not crash.
+}
+
+TEST(AlignedAllocTest, AllocationSizeOverflowThrowsBadAlloc) {
+  // N * sizeof(T) would wrap; the allocator must refuse rather than hand
+  // back a tiny block for a huge request.
+  AlignedAllocator<double> Alloc;
+  const std::size_t Huge = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_THROW(static_cast<void>(Alloc.allocate(Huge)), std::bad_alloc);
+  // The largest count that still rounds up past SIZE_MAX must throw too.
+  const std::size_t BarelyOver =
+      std::numeric_limits<std::size_t>::max() / sizeof(double);
+  EXPECT_THROW(static_cast<void>(Alloc.allocate(BarelyOver)), std::bad_alloc);
 }
 
 // --- Timer -----------------------------------------------------------------
