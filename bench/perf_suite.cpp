@@ -14,6 +14,8 @@
 //   tuned          the full Smat tune + bound operator,
 //   spmv_x8        the k=1 tuned operator applied 8 times back to back
 //                  (effective GFLOPS over the 8-column block),
+//   basic_x8       the strategy-free basic CSR SpMM kernel over the same
+//                  block (the untuned baseline of the batched tier),
 //   spmm_tuned_k8  one width-8 batched tune + register-tiled multiply over
 //                  the same block,
 //
@@ -23,10 +25,13 @@
 //
 //   {"schema": "smat-bench-v1",
 //    "results": [{"matrix", "role", "format", "kernel",
-//                 "gflops", "tune_ms"}, ...]}
+//                 "gflops", "tune_ms"[, "guardrail"]}, ...]}
+//
+// Tuned roles carry a "guardrail" key reporting whether the never-slower
+// guardrail bound the untuned basic-CSR plan for that matrix.
 //
 // Flags: --smoke  tiny matrices + short samples (CI shared runners);
-//        --out F  output path (default BENCH_PR5.json).
+//        --out F  output path (default BENCH_PR7.json).
 //
 //===----------------------------------------------------------------------===//
 
@@ -78,6 +83,11 @@ struct BenchRecord {
   std::string Kernel;
   double Gflops = 0.0;
   double TuneMs = 0.0;
+  /// Tuned roles only: whether the never-slower guardrail bound the untuned
+  /// basic-CSR plan. HasGuardrail gates JSON emission so untuned roles keep
+  /// the pre-PR7 record shape.
+  bool HasGuardrail = false;
+  bool Guardrail = false;
 };
 
 /// Robust min-of-k GFLOPS of one y := A*x callable.
@@ -141,7 +151,8 @@ void appendRoles(std::vector<BenchRecord> &Records, const Smat<double> &Tuner,
                                  [&] { Op.apply(X.data(), Y.data()); });
     Records.push_back({Case.Name, "tuned", std::string(formatName(Op.format())),
                        Op.kernelName(), Gflops,
-                       Op.report().TuneSeconds * 1e3});
+                       Op.report().TuneSeconds * 1e3, true,
+                       Op.report().GuardrailEngaged});
   }
 
   // Roles 4/5: the batched tier at k = 8. Both roles report effective GFLOPS
@@ -174,13 +185,23 @@ void appendRoles(std::vector<BenchRecord> &Records, const Smat<double> &Tuner,
                        std::string(formatName(Op.format())), Op.kernelName(),
                        LoopG, 0.0});
 
+    // The batched tier's untuned baseline: the strategy-free basic CSR SpMM
+    // kernel over the same block, so the never-slower gate has a like-units
+    // anchor for spmm_tuned_k8.
+    double BasicSpmmG = robustGflops(BlockNnz, MinSeconds, [&] {
+      Kernels.CsrSpmm[0].Fn(A, Xb.data(), Yb.data(), K);
+    });
+    Records.push_back({Case.Name, "basic_x8", "CSR", Kernels.CsrSpmm[0].Name,
+                       BasicSpmmG, 0.0});
+
     TunedSpmv<double> Op8 = SMAT_dCSR_SpMM(Tuner, A, K);
     double SpmmG = robustGflops(
         BlockNnz, MinSeconds, [&] { Op8.multiply(Xb.data(), Yb.data(), K); });
     Records.push_back({Case.Name, "spmm_tuned_k8",
                        std::string(formatName(Op8.format())),
                        Op8.spmmKernelName(), SpmmG,
-                       Op8.report().TuneSeconds * 1e3});
+                       Op8.report().TuneSeconds * 1e3, true,
+                       Op8.report().GuardrailEngaged});
   }
 }
 
@@ -196,11 +217,15 @@ void writeJson(const std::string &Path, const std::vector<BenchRecord> &Records,
   Out << "  \"results\": [\n";
   for (std::size_t I = 0; I != Records.size(); ++I) {
     const BenchRecord &R = Records[I];
+    std::string Extra =
+        R.HasGuardrail
+            ? formatString(", \"guardrail\": %s", R.Guardrail ? "true" : "false")
+            : std::string();
     Out << formatString("    {\"matrix\": \"%s\", \"role\": \"%s\", "
                         "\"format\": \"%s\", \"kernel\": \"%s\", "
-                        "\"gflops\": %.6f, \"tune_ms\": %.6f}%s\n",
+                        "\"gflops\": %.6f, \"tune_ms\": %.6f%s}%s\n",
                         R.Matrix.c_str(), R.Role.c_str(), R.Format.c_str(),
-                        R.Kernel.c_str(), R.Gflops, R.TuneMs,
+                        R.Kernel.c_str(), R.Gflops, R.TuneMs, Extra.c_str(),
                         I + 1 == Records.size() ? "" : ",");
   }
   Out << "  ]\n}\n";
@@ -210,7 +235,7 @@ void writeJson(const std::string &Path, const std::vector<BenchRecord> &Records,
 
 int main(int Argc, char **Argv) {
   bool Smoke = false;
-  std::string OutPath = "BENCH_PR5.json";
+  std::string OutPath = "BENCH_PR7.json";
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--smoke") == 0) {
       Smoke = true;

@@ -15,6 +15,13 @@ The tuned role's tune_ms is checked separately: a blowup beyond
 tune-time explosions are robustly detectable on noisy shared runners while
 raw GFLOPS are not.
 
+With --require-tuned-geq-basic, the never-slower selection guarantee is
+gated WITHIN the current run alone: every matrix's tuned GFLOPS must reach
+at least (1 - --max-regression) of its basic GFLOPS, and spmm_tuned_k8
+likewise against basic_x8 when both are present. Both numbers come from the
+same run on the same machine, so the check is meaningful even on noisy
+shared runners and fails even under --report-only.
+
 Exit codes: 0 ok, 1 regression found, 2 usage/input error.
 """
 
@@ -65,6 +72,11 @@ def main():
                     help="fail when the current run is missing any "
                          "(matrix, role) pair the baseline has, even under "
                          "--report-only")
+    ap.add_argument("--require-tuned-geq-basic", action="store_true",
+                    help="fail when any matrix in the CURRENT run has tuned "
+                         "GFLOPS below (1 - max-regression) of its basic "
+                         "GFLOPS (and spmm_tuned_k8 below basic_x8); "
+                         "within-run, so it fails even under --report-only")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -100,6 +112,30 @@ def main():
     for key in sorted(set(cur) - set(base)):
         print(f"NEW      {key[0]}/{key[1]}: not in baseline (ignored)")
 
+    never_slower_failures = []
+    if args.require_tuned_geq_basic:
+        floor = 1.0 - args.max_regression
+        pairs = [("basic", "tuned"), ("basic_x8", "spmm_tuned_k8")]
+        matrices = sorted({m for (m, _r) in cur})
+        for m in matrices:
+            for base_role, tuned_role in pairs:
+                b = cur.get((m, base_role))
+                t = cur.get((m, tuned_role))
+                if b is None or t is None or b["gflops"] <= 0:
+                    continue
+                ratio = t["gflops"] / b["gflops"]
+                guard = t.get("guardrail")
+                note = " [guardrail]" if guard else ""
+                if ratio < floor:
+                    never_slower_failures.append((m, tuned_role))
+                    print(f"SLOWER   {m}/{tuned_role}: {t['gflops']:.3f} vs "
+                          f"{base_role} {b['gflops']:.3f} GFLOPS "
+                          f"({ratio:.2%}){note}")
+                else:
+                    print(f"GEQBASIC {m}/{tuned_role}: {t['gflops']:.3f} vs "
+                          f"{base_role} {b['gflops']:.3f} GFLOPS "
+                          f"({ratio:.2%}){note}")
+
     if missing and args.require_coverage:
         print(f"bench_compare: FAIL: {len(missing)} (matrix, role) pair(s) "
               f"in the baseline are missing from the current run")
@@ -107,6 +143,11 @@ def main():
     if tune_failures:
         print(f"bench_compare: FAIL: {len(tune_failures)} tune-time "
               f"blowup(s) beyond {args.max_tune_blowup:.1f}x")
+        return 1
+    if never_slower_failures:
+        print(f"bench_compare: FAIL: {len(never_slower_failures)} tuned "
+              f"result(s) slower than the untuned basic baseline beyond "
+              f"{args.max_regression:.0%} (never-slower guarantee violated)")
         return 1
     # Without --require-coverage, missing pairs count as regressions (they
     # respect --report-only like any other GFLOPS failure).

@@ -56,6 +56,14 @@ std::string smat::serializeModel(const LearningModel &Model) {
             Model.Kernels.BestSpmmKernelName[static_cast<std::size_t>(K)]
                                             [static_cast<std::size_t>(W)]
                 .c_str());
+  // Optional analytic-classifier thresholds (same v1 compatibility contract
+  // as kernel_skew: a parser that predates the tag treats the first
+  // non-matching line as ruleset text, and a file without the lines parses
+  // with the CostModelThresholds defaults).
+  Out += formatString("costmodel imbalance_rowcv %.17g\n",
+                      Model.Cost.ImbalanceRowCv);
+  Out += formatString("costmodel dia_fill %.17g\n", Model.Cost.DiaFillMin);
+  Out += formatString("costmodel ell_fill %.17g\n", Model.Cost.EllFillMin);
   Out += serializeRuleSet(Model.Rules);
   return Out;
 }
@@ -144,6 +152,20 @@ bool smat::parseModel(const std::string &Text, LearningModel &Model,
       Model.Kernels.BestSpmmKernel[F][W] =
           static_cast<int>(std::strtol(Parts[3].c_str(), nullptr, 10));
       Model.Kernels.BestSpmmKernelName[F][W] = Parts[4];
+      continue;
+    }
+    if (Parts.size() == 3 && Parts[0] == "costmodel") {
+      double Value = std::strtod(Parts[2].c_str(), nullptr);
+      if (Parts[1] == "imbalance_rowcv")
+        Model.Cost.ImbalanceRowCv = Value;
+      else if (Parts[1] == "dia_fill")
+        Model.Cost.DiaFillMin = Value;
+      else if (Parts[1] == "ell_fill")
+        Model.Cost.EllFillMin = Value;
+      else {
+        Error = "malformed costmodel line: '" + Line + "'";
+        return false;
+      }
       continue;
     }
     RulesetPrefix = Line + "\n";

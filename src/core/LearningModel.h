@@ -15,6 +15,7 @@
 #ifndef SMAT_CORE_LEARNINGMODEL_H
 #define SMAT_CORE_LEARNINGMODEL_H
 
+#include "core/CostModel.h"
 #include "kernels/Scoreboard.h"
 #include "ml/RuleSet.h"
 
@@ -34,6 +35,11 @@ struct LearningModel {
   /// Whether the model was trained with the BSR extension format; gates the
   /// runtime's BSR candidacy (prediction and execute-and-measure).
   bool BsrEnabled = false;
+  /// Routing thresholds of the analytic bottleneck classifier (CostModel.h)
+  /// that pre-filters the execute-and-measure candidate menu. Serialized as
+  /// optional `costmodel` lines; legacy model files without them parse and
+  /// keep the defaults.
+  CostModelThresholds Cost;
 
   /// Per-group flags: whether any rule of the group tests the power-law R
   /// attribute. Lets the runtime skip the (comparatively expensive) R

@@ -34,7 +34,7 @@ PlanFingerprintHash::operator()(const PlanFingerprint &Fp) const {
   const std::int16_t Buckets[] = {
       Fp.RowsLog2,   Fp.ColsLog2,      Fp.DensityBucket, Fp.DispersionBucket,
       Fp.MaxRdLog2,  Fp.NdiagsLog2,    Fp.NTdiagsBucket, Fp.DiaFillBucket,
-      Fp.EllFillBucket, Fp.BsrFillBucket, Fp.WidthBucket};
+      Fp.EllFillBucket, Fp.BsrFillBucket, Fp.WidthBucket, Fp.ClassBucket};
   std::uint64_t Hash = 1469598103934665603ull;
   for (std::int16_t B : Buckets) {
     Hash ^= static_cast<std::uint64_t>(static_cast<std::uint16_t>(B));

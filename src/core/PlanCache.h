@@ -58,6 +58,11 @@ struct PlanFingerprint {
   /// can legitimately bind different formats and kernels, so the buckets
   /// must not collide.
   std::int16_t WidthBucket = 0;
+  /// Analytic bottleneck class the cost model assigned (1 + BottleneckClass)
+  /// or 0 when the cost model did not run. Part of the key so plans tuned
+  /// under a pruned candidate race are never reused by a tune that raced the
+  /// full candidate set (and vice versa).
+  std::int16_t ClassBucket = 0;
 
   friend bool operator==(const PlanFingerprint &,
                          const PlanFingerprint &) = default;
@@ -81,6 +86,10 @@ struct CachedPlan {
   /// The overhead baseline (seconds of one basic CSR SpMV) measured when
   /// the class was first tuned; reused so warm tunes skip re-measuring it.
   double CsrSpmvSeconds = 0.0;
+  /// The never-slower guardrail fired when this class was tuned: the plan
+  /// IS the basic-CSR baseline. Warm hits replay the guarded bind (basic
+  /// kernel, no conversion) instead of re-deriving it.
+  bool GuardrailEngaged = false;
 };
 
 /// Monotonic hit/miss/insert/eviction counters.

@@ -161,6 +161,20 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
   }
   Report.FeatureSeconds = Features.Seconds;
 
+  // Analytic bottleneck classification (CostModel.h): computed from step-1
+  // features only, so it is available before the cache probe (the class is
+  // part of the fingerprint) and costs no extra matrix traversal. Pruning is
+  // only applied to the execute-and-measure race, and never under
+  // ForceMeasure (the caller asked for ground truth over the full set).
+  CostModelDecision CostDecision;
+  bool HaveCost = false;
+  if (HaveFeatures) {
+    CostDecision = classifyBottleneck(Features.Features, Model.Cost);
+    Report.Bottleneck = CostDecision.Class;
+    HaveCost = Opts.CostModelPrune && !Opts.ForceMeasure;
+    Report.CostModelApplied = HaveCost;
+  }
+
   // Plan-cache probe. The fingerprint needs only step-1 features, so a hit
   // costs one extraction + one hash lookup and skips everything up to the
   // bind. The probe is a singleflight: a miss whose fingerprint another
@@ -170,6 +184,14 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
   // inserted below.
   FormatKind Chosen = FormatKind::CSR;
   bool Decided = !HaveFeatures;
+  // The guardrail's decision to bind the untuned basic-CSR plan: set when
+  // the baseline wins the race, when the cached plan recorded an engaged
+  // guardrail, or by the post-bind verification below.
+  bool ForceBasic = false;
+  // Whether execute-and-measure actually raced candidates this tune; the
+  // post-bind verification only runs when it did not (the race already
+  // compared the baseline as a first-class candidate).
+  bool RanRace = false;
   PlanFingerprint Fp;
   PlanCache *Cache = HaveFeatures ? Opts.Cache : nullptr;
   bool Leading = false;
@@ -178,11 +200,18 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
     // The batch width is a tuning input, not a matrix feature, so it is
     // stamped onto the fingerprint here rather than in fingerprintFeatures:
     // the same structure tuned at k=1 and k=8 may bind different plans, and
-    // a warm tune at a new width must miss only the width bucket.
+    // a warm tune at a new width must miss only the width bucket. The
+    // bottleneck class is stamped for the same reason in reverse: it changes
+    // which candidates raced, so plans from pruned and unpruned tunes must
+    // not alias.
     Fp.WidthBucket =
         Opts.BatchWidth > 1
             ? static_cast<std::int16_t>(1 + spmmWidthIndex(Opts.BatchWidth))
             : std::int16_t(0);
+    Fp.ClassBucket =
+        HaveCost ? static_cast<std::int16_t>(
+                       1 + static_cast<int>(CostDecision.Class))
+                 : std::int16_t(0);
     if (!Opts.ForceMeasure) {
       PlanProbe Probe = Cache->lookupOrLead(Fp);
       if (Probe.Hit) {
@@ -190,6 +219,11 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
         Report.CsrSpmvSeconds = Probe.Plan.CsrSpmvSeconds;
         Report.PlanCacheHit = true;
         Report.PlanShared = Probe.Shared;
+        // A cached guardrail engagement replays the guarded bind: the class
+        // was already shown to be fastest untuned, so the warm tune binds
+        // the basic plan directly instead of re-deriving that verdict.
+        Report.GuardrailEngaged = Probe.Plan.GuardrailEngaged;
+        ForceBasic = Probe.Plan.GuardrailEngaged;
         Decided = true;
       } else {
         Leading = true;
@@ -215,7 +249,77 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
   // subtracted from the wall clock at the end.
   double BaselineSeconds = 0.0;
 
+  // The guardrail is a measurement: with AllowMeasure false (and no
+  // ForceMeasure) the caller asked for the model's deterministic answer,
+  // and a timing-dependent override would break that contract.
+  const bool GuardrailActive =
+      Opts.Guardrail && (Opts.AllowMeasure || Opts.ForceMeasure);
+
   if (!Decided) {
+    // Overhead unit and guardrail baseline: one basic CSR SpMV on this
+    // matrix (Table 3's metric), measured up front — before the bind can
+    // move A away, and before the race so the untuned plan can compete in
+    // it as a first-class candidate. A batched tune additionally times the
+    // basic CSR SpMM at the requested width: the guardrail must compare
+    // like units (effective GFLOPS at that width), and a k-wide SpMM is not
+    // k SpMVs. Skipped when the tune budget is already spent; the report
+    // then has no overhead unit (overheadRatio() returns 0) and the
+    // guardrail is inactive (BaselineGflops stays 0).
+    if (TuneRemaining() > 0.0) {
+      try {
+        WallTimer BaselineTimer;
+        const KernelTable<T> &Kernels = kernelTable<T>();
+        const index_t Width = std::max<index_t>(index_t(1), Opts.BatchWidth);
+        AlignedVector<T> X(static_cast<std::size_t>(A.NumCols) *
+                               static_cast<std::size_t>(Width),
+                           T(1));
+        AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows) *
+                               static_cast<std::size_t>(Width),
+                           T(0));
+        // Min-of-k quick sampling, not a single shot: the baseline feeds a
+        // selection comparison, and a one-shot timing inflated by a
+        // scheduling spike would let the guardrail spuriously override a
+        // good plan. The minimum is robust — interference only adds time.
+        RobustMeasureOptions BOpts;
+        BOpts.MinSeconds = 1e-4;
+        BOpts.MinReps = 2;
+        BOpts.MaxRetries = 1;
+        RobustMeasureResult BM = robustMeasureSecondsPerCall(
+            [&] {
+              fault::injectKernelFault("measure.baseline");
+              Kernels.Csr[0].Fn(A, X.data(), Y.data());
+            },
+            BOpts);
+        Report.CsrSpmvSeconds = BM.SecondsPerCall;
+        Report.NoisyTimings = Report.NoisyTimings || BM.Noisy;
+        if (GuardrailActive) {
+          if (Width > 1) {
+            RobustMeasureResult MM = robustMeasureSecondsPerCall(
+                [&] {
+                  fault::injectKernelFault("measure.baseline");
+                  Kernels.CsrSpmm[0].Fn(A, X.data(), Y.data(), Width);
+                },
+                BOpts);
+            Report.BaselineGflops =
+                spmvGflops(static_cast<std::uint64_t>(A.nnz()) *
+                               static_cast<std::uint64_t>(Width),
+                           MM.SecondsPerCall);
+            Report.NoisyTimings = Report.NoisyTimings || MM.Noisy;
+          } else {
+            Report.BaselineGflops = spmvGflops(
+                static_cast<std::uint64_t>(A.nnz()), Report.CsrSpmvSeconds);
+          }
+        }
+        BaselineSeconds = BaselineTimer.seconds();
+      } catch (...) {
+        Report.CsrSpmvSeconds = 0.0;
+        Report.BaselineGflops = 0.0;
+        ++Report.DroppedCandidates;
+      }
+    } else {
+      Report.BudgetExhausted = true;
+    }
+
     // Stage 2: confidence-gated prediction. A throwing predictor is dropped;
     // the default-constructed (unconfident) result lets execute-and-measure
     // recover the decision when allowed.
@@ -234,47 +338,32 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
 
     // Stage 3: execute-and-measure when forced or unconfident. The stage
     // handles per-candidate failures and budgets itself; this catch only
-    // covers its shared setup (vector allocation).
+    // covers its shared setup (vector allocation). The cost model prunes
+    // the candidate set it races; the baseline enters the race and wins it
+    // when no tuned candidate beats not tuning.
     if (MeasureStage::shouldRun(Opts, Prediction) && TuneRemaining() > 0.0) {
       try {
-        MeasureStageResult Measured =
-            MeasureStage::run(Ctx, Features, Prediction.Prediction);
+        MeasureStageResult Measured = MeasureStage::run(
+            Ctx, Features, Prediction.Prediction,
+            HaveCost ? &CostDecision : nullptr,
+            Opts.Guardrail ? Report.BaselineGflops : 0.0);
         Report.MeasuredGflops = std::move(Measured.MeasuredGflops);
+        Report.MeasuredCandidates = std::move(Measured.Candidates);
         Report.MeasureSeconds = Measured.Seconds;
-        Report.NoisyTimings = Measured.NoisyTimings;
+        Report.NoisyTimings = Report.NoisyTimings || Measured.NoisyTimings;
         Report.BudgetExhausted = Measured.BudgetExhausted;
         Report.DroppedCandidates += Measured.DroppedCandidates;
-        if (!Measured.MeasuredGflops.empty())
+        if (!Measured.MeasuredGflops.empty() || Measured.BaselineWon)
           Chosen = Measured.Best;
+        if (Measured.BaselineWon) {
+          ForceBasic = true;
+          Report.GuardrailEngaged = true;
+        }
+        RanRace = true;
       } catch (...) {
         ++Report.DroppedCandidates;
       }
     } else if (MeasureStage::shouldRun(Opts, Prediction)) {
-      Report.BudgetExhausted = true;
-    }
-
-    // Overhead unit: one basic CSR SpMV on this matrix (Table 3's metric).
-    // Measured before the bind because an rvalue-path bind may move A away.
-    // Skipped when the tune budget is already spent (the report then has no
-    // overhead unit — overheadRatio() returns 0).
-    if (TuneRemaining() > 0.0) {
-      try {
-        WallTimer BaselineTimer;
-        const KernelTable<T> &Kernels = kernelTable<T>();
-        AlignedVector<T> X(static_cast<std::size_t>(A.NumCols), T(1));
-        AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows), T(0));
-        Report.CsrSpmvSeconds = measureSecondsPerCall(
-            [&] {
-              fault::injectKernelFault("measure.baseline");
-              Kernels.Csr[0].Fn(A, X.data(), Y.data());
-            },
-            1e-4, 2);
-        BaselineSeconds = BaselineTimer.seconds();
-      } catch (...) {
-        Report.CsrSpmvSeconds = 0.0;
-        ++Report.DroppedCandidates;
-      }
-    } else {
       Report.BudgetExhausted = true;
     }
   }
@@ -288,19 +377,102 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
   // kernel choice follows the row-length CV even on a plan-cache hit, since
   // the cache stores only the format and the kernel is re-bound per tune.
   BindStageResult<T> Bound = BindStage::run(
-      Ctx, Chosen, HaveFeatures ? &Features.Features : nullptr);
+      Ctx, Chosen, HaveFeatures ? &Features.Features : nullptr, ForceBasic);
   Report.ChosenFormat = Bound.BoundFormat;
   Report.KernelName = std::move(Bound.KernelName);
   Report.BindSeconds = Bound.Seconds;
   Report.Degradation = Bound.Degradation;
   Op.Op = std::move(Bound.Op);
 
+  // Post-bind guardrail verification: on the confident-prediction path the
+  // race never ran, so nothing has compared the predicted plan against not
+  // tuning — the exact hole the powerlaw mispick fell through. Quick-time
+  // the bound operator and rebind the basic CSR plan when the measured
+  // baseline beats it beyond the noise floor (quick one-shot timings are
+  // noisier than the race's robust measurements, hence the margin).
+  // Skipped when: the race already included the baseline; the bound plan is
+  // already basic CSR (nothing to fall back to); the rvalue tune path
+  // moved the caller's matrix into a CSR operator (re-binding would read a
+  // moved-from matrix); or the analytic classifier independently endorses
+  // the bound format — two selectors with uncorrelated failure modes
+  // agreeing on the plan is the cheap certificate, and measurement only
+  // arbitrates when they disagree (the historical powerlaw mispick bound a
+  // format its bottleneck class rules out, exactly the disagreement case).
+  const bool CostEndorsed =
+      HaveCost && CostDecision.allows(Report.ChosenFormat);
+  if (GuardrailActive && !Decided && !RanRace && !CostEndorsed &&
+      Report.BaselineGflops > 0.0 && Op.Op) {
+    const index_t Width = std::max<index_t>(index_t(1), Opts.BatchWidth);
+    const KernelTable<T> &Kernels = kernelTable<T>();
+    const bool AlreadyBasic =
+        Report.ChosenFormat == FormatKind::CSR &&
+        (Report.KernelName == Kernels.Csr[0].Name ||
+         Report.KernelName == Kernels.CsrSpmm[0].Name);
+    const bool SourceConsumed = MoveSource != nullptr &&
+                                Opts.CsrMode == CsrStorage::Owned &&
+                                Report.ChosenFormat == FormatKind::CSR;
+    if (!AlreadyBasic && !SourceConsumed && TuneRemaining() > 0.0) {
+      WallTimer GuardTimer;
+      try {
+        AlignedVector<T> X(static_cast<std::size_t>(A.NumCols) *
+                               static_cast<std::size_t>(Width),
+                           T(1));
+        AlignedVector<T> Y(static_cast<std::size_t>(A.NumRows) *
+                               static_cast<std::size_t>(Width),
+                           T(0));
+        RobustMeasureOptions VOpts;
+        VOpts.MinSeconds = 1e-4;
+        VOpts.MinReps = 2;
+        VOpts.MaxRetries = 1;
+        RobustMeasureResult VM = robustMeasureSecondsPerCall(
+            [&] {
+              fault::injectKernelFault("guardrail.verify");
+              if (Width > 1)
+                Op.Op->multiply(X.data(), Y.data(), Width);
+              else
+                Op.Op->apply(X.data(), Y.data());
+            },
+            VOpts);
+        double BoundGflops =
+            spmvGflops(static_cast<std::uint64_t>(A.nnz()) *
+                           static_cast<std::uint64_t>(Width),
+                       VM.SecondsPerCall);
+        Report.NoisyTimings = Report.NoisyTimings || VM.Noisy;
+        Report.MeasuredCandidates.push_back(
+            {FormatKind::CSR,
+             Width > 1 ? Kernels.CsrSpmm[0].Name : Kernels.Csr[0].Name,
+             Report.BaselineGflops, true});
+        Report.MeasuredCandidates.push_back(
+            {Report.ChosenFormat, Report.KernelName, BoundGflops, false});
+        if (Report.BaselineGflops >
+            BoundGflops * (1.0 + GuardrailNoiseFloor)) {
+          Report.GuardrailEngaged = true;
+          BindStageResult<T> Guarded = BindStage::run(
+              Ctx, FormatKind::CSR,
+              HaveFeatures ? &Features.Features : nullptr, true);
+          Report.ChosenFormat = Guarded.BoundFormat;
+          Report.KernelName = std::move(Guarded.KernelName);
+          Report.BindSeconds += Guarded.Seconds;
+          Report.Degradation =
+              maxLevel(Report.Degradation, Guarded.Degradation);
+          Op.Op = std::move(Guarded.Op);
+        }
+      } catch (...) {
+        // A faulted verification leaves the bound plan in place: the
+        // guardrail refines the decision, it must never break a good bind.
+        ++Report.DroppedCandidates;
+      }
+      Report.GuardrailSeconds = GuardTimer.seconds();
+    }
+  }
+
   if (Report.DroppedCandidates > 0)
     Report.Degradation =
         maxLevel(Report.Degradation, DegradationLevel::CandidateDropped);
 
   if (Cache && !Report.PlanCacheHit) {
-    CachedPlan Plan{Report.ChosenFormat, Report.CsrSpmvSeconds};
+    CachedPlan Plan{Report.ChosenFormat, Report.CsrSpmvSeconds,
+                    Report.GuardrailEngaged};
     if (Leading) {
       Cache->publish(Fp, Plan);
       Lease.Active = false;
@@ -310,7 +482,11 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
   }
 
   Report.Features = Features.Features;
-  Report.TuneSeconds = std::max(0.0, TuneTimer.seconds() - BaselineSeconds);
+  // The baseline measurement is nested inside the tune wall clock, so the
+  // difference cannot go negative; reporting BaselineSeconds separately
+  // (instead of clamping) keeps budget overruns during the baseline visible.
+  Report.BaselineSeconds = BaselineSeconds;
+  Report.TuneSeconds = TuneTimer.seconds() - BaselineSeconds;
 
   ResilienceState &RS = *Resilience;
   RS.Tunes.fetch_add(1, std::memory_order_relaxed);
@@ -327,6 +503,8 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
     RS.ReferenceFallbacks.fetch_add(1, std::memory_order_relaxed);
   if (Report.PlanShared)
     RS.PlanShares.fetch_add(1, std::memory_order_relaxed);
+  if (Report.GuardrailEngaged)
+    RS.GuardrailEngagements.fetch_add(1, std::memory_order_relaxed);
   return Op;
 }
 
@@ -344,6 +522,8 @@ SmatResilienceCounters Smat<T>::resilienceCounters() const {
   Out.ReferenceFallbacks =
       RS.ReferenceFallbacks.load(std::memory_order_relaxed);
   Out.PlanShares = RS.PlanShares.load(std::memory_order_relaxed);
+  Out.GuardrailEngagements =
+      RS.GuardrailEngagements.load(std::memory_order_relaxed);
   return Out;
 }
 

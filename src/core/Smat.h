@@ -36,6 +36,7 @@
 #ifndef SMAT_CORE_SMAT_H
 #define SMAT_CORE_SMAT_H
 
+#include "core/CostModel.h"
 #include "core/LearningModel.h"
 #include "core/PlanCache.h"
 #include "core/TuningPipeline.h"
@@ -53,6 +54,13 @@
 
 namespace smat {
 
+/// Relative margin the measured baseline must win by before the never-slower
+/// guardrail overrides a confidently predicted plan post-bind (the race path
+/// needs no margin: there both numbers come from the same robust-measurement
+/// discipline). 0.10 = the 10% noise floor of the quick one-shot timings the
+/// verification uses.
+inline constexpr double GuardrailNoiseFloor = 0.10;
+
 /// What the tuner did for one matrix: the Table-3 trace columns plus
 /// per-stage wall-clock accounting.
 struct TuningReport {
@@ -63,8 +71,23 @@ struct TuningReport {
   double ModelConfidence = 0.0;
   bool ModelConfident = false;
   /// Execute-and-measure outcome (empty when the model was confident or the
-  /// plan came from the cache).
+  /// plan came from the cache). Tuned candidates only; see
+  /// MeasuredCandidates for the full race including the baseline.
   std::vector<std::pair<FormatKind, double>> MeasuredGflops;
+  /// Every plan that entered the selection race, including the untuned
+  /// basic-CSR baseline (IsBaseline) and, on the confident-prediction path,
+  /// the post-bind guardrail verification of the bound plan. Empty on a
+  /// plan-cache hit or when measurement was disallowed.
+  std::vector<MeasuredCandidate> MeasuredCandidates;
+  /// The never-slower guardrail fired: the measured basic-CSR baseline beat
+  /// every tuned candidate (or the bound plan's verification), so the
+  /// untuned basic CSR plan was bound instead.
+  bool GuardrailEngaged = false;
+  /// Analytic bottleneck classification (CostModel.h) of this matrix; only
+  /// meaningful when CostModelApplied is set (features survived and the
+  /// classifier ran).
+  BottleneckClass Bottleneck = BottleneckClass::IrregularityBound;
+  bool CostModelApplied = false;
   /// Final decision.
   FormatKind ChosenFormat = FormatKind::CSR;
   std::string KernelName;
@@ -74,9 +97,18 @@ struct TuningReport {
   bool PlanCacheHit = false;
   /// Overhead accounting: total tuning seconds and the equivalent number of
   /// basic CSR-SpMV executions (the paper's "times of CSR-SpMV" metric).
-  /// TuneSeconds excludes the baseline measurement itself.
+  /// TuneSeconds excludes the baseline measurement itself; BaselineSeconds
+  /// reports that wall clock separately instead of hiding it in a clamped
+  /// subtraction, so budget overruns during the baseline stay visible.
   double TuneSeconds = 0.0;
+  double BaselineSeconds = 0.0;
   double CsrSpmvSeconds = 0.0;
+  /// Measured throughput of the untuned baseline the guardrail compares
+  /// against: one basic CSR SpMV for single-vector tunes, one basic CSR
+  /// SpMM at the requested width for batched tunes. 0 when the baseline
+  /// could not be measured (budget expired or the measurement faulted) —
+  /// the guardrail is then inactive for this tune.
+  double BaselineGflops = 0.0;
   /// Per-stage wall-clock accounting. FeatureSeconds covers extraction
   /// step 1; a lazily triggered step 2 (power-law R) is included in
   /// PredictSeconds, which demanded it.
@@ -84,6 +116,9 @@ struct TuningReport {
   double PredictSeconds = 0.0;
   double MeasureSeconds = 0.0;
   double BindSeconds = 0.0;
+  /// Wall clock of the post-bind guardrail verification (confident
+  /// predictions only; 0 when the race already compared the baseline).
+  double GuardrailSeconds = 0.0;
   /// Resilience trace (DESIGN.md section 12). The rung of the degradation
   /// ladder this tune had to take; None when everything succeeded.
   DegradationLevel Degradation = DegradationLevel::None;
@@ -116,6 +151,8 @@ struct SmatResilienceCounters {
   std::uint64_t BasicKernelFallbacks = 0; ///< Tunes that bound the basic rung.
   std::uint64_t ReferenceFallbacks = 0;   ///< Tunes that bound the last rung.
   std::uint64_t PlanShares = 0; ///< Tunes served by a singleflight wait.
+  std::uint64_t GuardrailEngagements = 0; ///< Tunes bound to the untuned
+                                          ///< baseline by the guardrail.
 };
 
 /// A tuned SpMV operator bound to one matrix.
@@ -270,6 +307,7 @@ private:
     std::atomic<std::uint64_t> BasicKernelFallbacks{0};
     std::atomic<std::uint64_t> ReferenceFallbacks{0};
     std::atomic<std::uint64_t> PlanShares{0};
+    std::atomic<std::uint64_t> GuardrailEngagements{0};
   };
 
   LearningModel Model;

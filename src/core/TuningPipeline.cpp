@@ -126,7 +126,9 @@ bool MeasureStage::shouldRun(const TuneOptions &Opts,
 template <typename T>
 MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
                                      const FeatureStageResult &Features,
-                                     FormatKind Fallback) {
+                                     FormatKind Fallback,
+                                     const CostModelDecision *Allowed,
+                                     double BaselineGflops) {
   WallTimer Timer;
   const CsrMatrix<T> &A = Ctx.A;
   const LearningModel &Model = Ctx.Model;
@@ -154,11 +156,21 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
     return Ctx.Opts.TuneBudgetSeconds - Ctx.TuneClock->seconds();
   };
 
+  // Analytic pre-filter: with a cost-model decision in hand, only the
+  // formats that can address the classified bottleneck are raced. CSR is
+  // never pruned (it is the substrate and the guardrail's plan). A pruned
+  // format is not a dropped candidate — it was excluded by design, not
+  // lost to a failure.
+  auto FormatAllowed = [Allowed](FormatKind Kind) {
+    return Kind == FormatKind::CSR || !Allowed || Allowed->allows(Kind);
+  };
+
   // Measurement watchdog around one candidate: robust (min-of-k, spread
   // checked, backoff-retried) timing under the tighter of the per-candidate
   // and remaining whole-tune budgets; a candidate whose kernel throws is
   // dropped and the sweep continues.
-  auto Consider = [&](FormatKind Kind, const char *Site, auto &&RunOnce) {
+  auto Consider = [&](FormatKind Kind, const std::string &Kernel,
+                      const char *Site, auto &&RunOnce) {
     double Remaining = TuneRemaining();
     if (Remaining <= 0.0) {
       Result.BudgetExhausted = true;
@@ -179,10 +191,11 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
           MOpts);
       Result.NoisyTimings = Result.NoisyTimings || M.Noisy;
       Result.BudgetExhausted = Result.BudgetExhausted || M.BudgetHit;
-      Result.MeasuredGflops.emplace_back(
-          Kind, spmvGflops(static_cast<std::uint64_t>(A.nnz()) *
-                               static_cast<std::uint64_t>(Width),
-                           M.SecondsPerCall));
+      double Gflops = spmvGflops(static_cast<std::uint64_t>(A.nnz()) *
+                                     static_cast<std::uint64_t>(Width),
+                                 M.SecondsPerCall);
+      Result.MeasuredGflops.emplace_back(Kind, Gflops);
+      Result.Candidates.push_back({Kind, Kernel, Gflops, false});
     } catch (...) {
       ++Result.DroppedCandidates;
     }
@@ -211,50 +224,57 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
   // kernel the plan never binds (or vice versa).
   if (Batched) {
     std::size_t I = BestSpmmIdx(FormatKind::CSR, Kernels.CsrSpmm, A);
-    Consider(FormatKind::CSR, "measure.kernel.CSR", [&, I] {
-      Kernels.CsrSpmm[I].Fn(A, X.data(), Y.data(), Width);
-    });
+    Consider(FormatKind::CSR, Kernels.CsrSpmm[I].Name, "measure.kernel.CSR",
+             [&, I] { Kernels.CsrSpmm[I].Fn(A, X.data(), Y.data(), Width); });
   } else {
     std::size_t CsrIdx = static_cast<std::size_t>(
         Model.Kernels.csrKernelFor(Features.Features.rowCv()));
     if (CsrIdx >= Kernels.Csr.size())
       CsrIdx = BestIdx(FormatKind::CSR);
-    Consider(FormatKind::CSR, "measure.kernel.CSR",
+    Consider(FormatKind::CSR, Kernels.Csr[CsrIdx].Name, "measure.kernel.CSR",
              [&, CsrIdx] { Kernels.Csr[CsrIdx].Fn(A, X.data(), Y.data()); });
   }
   try {
-    CooMatrix<T> Coo = csrToCoo(A);
-    // Respect declared kernel preconditions (csrToCoo output always has
-    // monotone rows, but the registration is the contract, not the builder).
-    if (Batched) {
-      std::size_t I = BestSpmmIdx(FormatKind::COO, Kernels.CooSpmm, Coo);
-      Consider(FormatKind::COO, "measure.kernel.COO", [&, I] {
-        Kernels.CooSpmm[I].Fn(Coo, X.data(), Y.data(), Width);
-      });
-    } else {
-      std::size_t CooIdx = BestIdx(FormatKind::COO);
-      if (!kernelPrecondsHold(Kernels.Coo[CooIdx].Preconds, Coo))
-        CooIdx = 0;
-      Consider(FormatKind::COO, "measure.kernel.COO", [&, CooIdx] {
-        Kernels.Coo[CooIdx].Fn(Coo, X.data(), Y.data());
-      });
+    if (FormatAllowed(FormatKind::COO)) {
+      CooMatrix<T> Coo = csrToCoo(A);
+      // Respect declared kernel preconditions (csrToCoo output always has
+      // monotone rows, but the registration is the contract, not the
+      // builder).
+      if (Batched) {
+        std::size_t I = BestSpmmIdx(FormatKind::COO, Kernels.CooSpmm, Coo);
+        Consider(FormatKind::COO, Kernels.CooSpmm[I].Name,
+                 "measure.kernel.COO", [&, I] {
+                   Kernels.CooSpmm[I].Fn(Coo, X.data(), Y.data(), Width);
+                 });
+      } else {
+        std::size_t CooIdx = BestIdx(FormatKind::COO);
+        if (!kernelPrecondsHold(Kernels.Coo[CooIdx].Preconds, Coo))
+          CooIdx = 0;
+        Consider(FormatKind::COO, Kernels.Coo[CooIdx].Name,
+                 "measure.kernel.COO", [&, CooIdx] {
+                   Kernels.Coo[CooIdx].Fn(Coo, X.data(), Y.data());
+                 });
+      }
     }
   } catch (...) {
     ++Result.DroppedCandidates; // COO conversion failed; CSR already ran.
   }
   try {
-    if (diaPlausible(Features.Features)) {
+    if (FormatAllowed(FormatKind::DIA) && diaPlausible(Features.Features)) {
       DiaMatrix<T> Dia;
       if (csrToDia(A, Dia)) {
         if (Batched) {
           std::size_t I = BestSpmmIdx(FormatKind::DIA, Kernels.DiaSpmm, Dia);
-          Consider(FormatKind::DIA, "measure.kernel.DIA", [&, I] {
-            Kernels.DiaSpmm[I].Fn(Dia, X.data(), Y.data(), Width);
-          });
+          Consider(FormatKind::DIA, Kernels.DiaSpmm[I].Name,
+                   "measure.kernel.DIA", [&, I] {
+                     Kernels.DiaSpmm[I].Fn(Dia, X.data(), Y.data(), Width);
+                   });
         } else {
-          Consider(FormatKind::DIA, "measure.kernel.DIA", [&] {
-            Kernels.Dia[BestIdx(FormatKind::DIA)].Fn(Dia, X.data(), Y.data());
-          });
+          std::size_t DiaIdx = BestIdx(FormatKind::DIA);
+          Consider(FormatKind::DIA, Kernels.Dia[DiaIdx].Name,
+                   "measure.kernel.DIA", [&, DiaIdx] {
+                     Kernels.Dia[DiaIdx].Fn(Dia, X.data(), Y.data());
+                   });
         }
       }
     }
@@ -262,23 +282,25 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
     ++Result.DroppedCandidates;
   }
   try {
-    if (ellPlausible(Features.Features)) {
+    if (FormatAllowed(FormatKind::ELL) && ellPlausible(Features.Features)) {
       EllMatrix<T> Ell;
       if (csrToEll(A, Ell)) {
         // Same precondition contract as COO: a selected sliced kernel needs
         // the RowLen sidecar or falls back to the basic kernel.
         if (Batched) {
           std::size_t I = BestSpmmIdx(FormatKind::ELL, Kernels.EllSpmm, Ell);
-          Consider(FormatKind::ELL, "measure.kernel.ELL", [&, I] {
-            Kernels.EllSpmm[I].Fn(Ell, X.data(), Y.data(), Width);
-          });
+          Consider(FormatKind::ELL, Kernels.EllSpmm[I].Name,
+                   "measure.kernel.ELL", [&, I] {
+                     Kernels.EllSpmm[I].Fn(Ell, X.data(), Y.data(), Width);
+                   });
         } else {
           std::size_t EllIdx = BestIdx(FormatKind::ELL);
           if (!kernelPrecondsHold(Kernels.Ell[EllIdx].Preconds, Ell))
             EllIdx = 0;
-          Consider(FormatKind::ELL, "measure.kernel.ELL", [&, EllIdx] {
-            Kernels.Ell[EllIdx].Fn(Ell, X.data(), Y.data());
-          });
+          Consider(FormatKind::ELL, Kernels.Ell[EllIdx].Name,
+                   "measure.kernel.ELL", [&, EllIdx] {
+                     Kernels.Ell[EllIdx].Fn(Ell, X.data(), Y.data());
+                   });
         }
       }
     }
@@ -286,17 +308,21 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
     ++Result.DroppedCandidates;
   }
   try {
-    if (Model.BsrEnabled && bsrPlausible(Features.Features)) {
+    if (FormatAllowed(FormatKind::BSR) && Model.BsrEnabled &&
+        bsrPlausible(Features.Features)) {
       index_t BlockSize = chooseBsrBlockSize(A);
       BsrMatrix<T> Bsr;
-      if (BlockSize > 0 && csrToBsr(A, Bsr, BlockSize))
+      if (BlockSize > 0 && csrToBsr(A, Bsr, BlockSize)) {
         // BSR has no batched kernel family; its multiply() degrades to
         // column-at-a-time applies, so the batched candidate runs the SpMV
         // kernel Width times to model that honestly.
-        Consider(FormatKind::BSR, "measure.kernel.BSR", [&] {
-          for (index_t J = 0; J < Width; ++J)
-            Kernels.Bsr[BestIdx(FormatKind::BSR)].Fn(Bsr, X.data(), Y.data());
-        });
+        std::size_t BsrIdx = BestIdx(FormatKind::BSR);
+        Consider(FormatKind::BSR, Kernels.Bsr[BsrIdx].Name,
+                 "measure.kernel.BSR", [&, BsrIdx] {
+                   for (index_t J = 0; J < Width; ++J)
+                     Kernels.Bsr[BsrIdx].Fn(Bsr, X.data(), Y.data());
+                 });
+      }
     }
   } catch (...) {
     ++Result.DroppedCandidates;
@@ -308,6 +334,21 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
       BestGflops = Gflops;
       Result.Best = Kind;
     }
+
+  // The never-slower guardrail: the untuned basic-CSR baseline is a
+  // first-class candidate. When it beats every tuned measurement (or
+  // nothing was measured at all), the race's answer is "do not tune" — the
+  // caller binds the basic CSR plan.
+  if (BaselineGflops > 0.0) {
+    Result.Candidates.push_back({FormatKind::CSR,
+                                 Batched ? basicCsrSpmmKernel<T>().Name
+                                         : basicCsrKernel<T>().Name,
+                                 BaselineGflops, true});
+    if (BaselineGflops > BestGflops) {
+      Result.BaselineWon = true;
+      Result.Best = FormatKind::CSR;
+    }
+  }
   Result.Seconds = Timer.seconds();
   return Result;
 }
@@ -317,7 +358,8 @@ MeasureStageResult MeasureStage::run(const TuningContext<T> &Ctx,
 template <typename T>
 BindStageResult<T> BindStage::run(const TuningContext<T> &Ctx,
                                   FormatKind Requested,
-                                  const FeatureVector *Features) {
+                                  const FeatureVector *Features,
+                                  bool ForceBasicCsr) {
   WallTimer Timer;
   BindStageResult<T> Result;
 
@@ -327,14 +369,19 @@ BindStageResult<T> BindStage::run(const TuningContext<T> &Ctx,
       Features ? Ctx.Model.Kernels.csrKernelFor(Features->rowCv()) : -1;
 
   // Rung 0: the full bind — conversion plus the scoreboard-selected kernel
-  // (with the long-standing guard fallback to CSR inside).
-  try {
-    fault::injectKernelFault("bind.operator");
-    Result.Op = bindFormatOperator(Ctx.A, Requested, Ctx.Model.Kernels,
-                                   Ctx.Opts.CsrMode, Ctx.MoveSource,
-                                   CsrOverride, Ctx.Opts.BatchWidth);
-  } catch (...) {
-    Result.Op = nullptr;
+  // (with the long-standing guard fallback to CSR inside). When the caller
+  // forces the basic-CSR plan (the never-slower guardrail decided tuning
+  // does not pay), this rung is skipped entirely: the basic bind below is
+  // the requested plan, not a degradation, so Degradation stays None.
+  if (!ForceBasicCsr) {
+    try {
+      fault::injectKernelFault("bind.operator");
+      Result.Op = bindFormatOperator(Ctx.A, Requested, Ctx.Model.Kernels,
+                                     Ctx.Opts.CsrMode, Ctx.MoveSource,
+                                     CsrOverride, Ctx.Opts.BatchWidth);
+    } catch (...) {
+      Result.Op = nullptr;
+    }
   }
 
   // Rung BasicKernel: the strategy-free CSR kernel, no conversion and no
@@ -343,7 +390,8 @@ BindStageResult<T> BindStage::run(const TuningContext<T> &Ctx,
   // storage adopted afterwards (noexcept), so a failure here leaves a
   // MoveSource intact for the final rung.
   if (!Result.Op) {
-    Result.Degradation = DegradationLevel::BasicKernel;
+    if (!ForceBasicCsr)
+      Result.Degradation = DegradationLevel::BasicKernel;
     try {
       fault::injectKernelFault("bind.basic_csr");
       const auto &K = basicCsrKernel<T>();
@@ -400,14 +448,18 @@ template PredictStageResult PredictStage::run(const TuningContext<double> &,
                                               FeatureStageResult &);
 template MeasureStageResult MeasureStage::run(const TuningContext<float> &,
                                               const FeatureStageResult &,
-                                              FormatKind);
+                                              FormatKind,
+                                              const CostModelDecision *,
+                                              double);
 template MeasureStageResult MeasureStage::run(const TuningContext<double> &,
                                               const FeatureStageResult &,
-                                              FormatKind);
+                                              FormatKind,
+                                              const CostModelDecision *,
+                                              double);
 template BindStageResult<float>
 BindStage::run(const TuningContext<float> &, FormatKind,
-               const FeatureVector *);
+               const FeatureVector *, bool);
 template BindStageResult<double>
 BindStage::run(const TuningContext<double> &, FormatKind,
-               const FeatureVector *);
+               const FeatureVector *, bool);
 } // namespace smat

@@ -28,6 +28,7 @@
 #ifndef SMAT_CORE_TUNINGPIPELINE_H
 #define SMAT_CORE_TUNINGPIPELINE_H
 
+#include "core/CostModel.h"
 #include "core/FormatOperator.h"
 #include "core/LearningModel.h"
 #include "features/FeatureExtractor.h"
@@ -104,6 +105,19 @@ struct TuneOptions {
   /// supports multiply() at any width regardless of this value; the width
   /// only steers which plan is considered optimal.
   index_t BatchWidth = 1;
+  /// Never-slower guardrail (DESIGN.md section 15): the measured basic-CSR
+  /// baseline enters the execute-and-measure race as a first-class
+  /// candidate, and a confident prediction's bound plan is quick-verified
+  /// against the baseline after the bind — either way, a tune that would
+  /// end up slower than not tuning binds the untuned basic CSR plan
+  /// instead and reports GuardrailEngaged. Needs measurement: with
+  /// AllowMeasure false (and no ForceMeasure) the guardrail cannot run.
+  bool Guardrail = true;
+  /// Analytic candidate pruning (CostModel.h): classify the matrix's
+  /// bottleneck from the extracted features and race only the formats that
+  /// can address it, instead of the full menu. Ignored under ForceMeasure
+  /// (ground-truth sweeps must stay exhaustive).
+  bool CostModelPrune = true;
 };
 
 /// Everything the stages read; one per tune() call.
@@ -137,10 +151,28 @@ struct PredictStageResult {
   double Seconds = 0.0;
 };
 
+/// One entry of the selection race: a measured candidate plan. The untuned
+/// basic-CSR baseline participates as a first-class candidate (IsBaseline)
+/// so a tuned plan structurally cannot lose to not tuning.
+struct MeasuredCandidate {
+  FormatKind Format = FormatKind::CSR;
+  std::string Kernel;
+  double Gflops = 0.0;
+  /// True for the untuned basic-CSR guardrail entry.
+  bool IsBaseline = false;
+};
+
 /// Result of MeasureStage.
 struct MeasureStageResult {
-  /// (format, GFLOPS) per measured candidate, in measurement order.
+  /// (format, GFLOPS) per measured candidate, in measurement order. Tuned
+  /// candidates only; the baseline appears in Candidates.
   std::vector<std::pair<FormatKind, double>> MeasuredGflops;
+  /// The full race in measurement order, with kernel names (baseline entry
+  /// included when a baseline throughput was supplied).
+  std::vector<MeasuredCandidate> Candidates;
+  /// The supplied basic-CSR baseline beat every tuned candidate: Best is
+  /// CSR and the caller must bind the untuned basic plan (the guardrail).
+  bool BaselineWon = false;
   /// The measured winner (or the fallback passed in when nothing ran).
   FormatKind Best = FormatKind::CSR;
   double Seconds = 0.0;
@@ -197,10 +229,17 @@ public:
 
   /// Measures every candidate that passes its structural plausibility
   /// guard; \p Fallback is returned as Best when nothing is measured.
+  /// \p Allowed, when non-null, restricts the race to the cost model's
+  /// candidate mask (CSR is always raced). \p BaselineGflops, when
+  /// positive, enters the untuned basic-CSR baseline as a first-class
+  /// candidate: if it beats every tuned measurement, Best is CSR and
+  /// BaselineWon tells the caller to bind the untuned basic plan.
   template <typename T>
   static MeasureStageResult run(const TuningContext<T> &Ctx,
                                 const FeatureStageResult &Features,
-                                FormatKind Fallback);
+                                FormatKind Fallback,
+                                const CostModelDecision *Allowed = nullptr,
+                                double BaselineGflops = 0.0);
 };
 
 /// Stage 4: conversion + kernel binding through the operator layer.
@@ -210,10 +249,15 @@ public:
   /// a row-length CV above SkewRowCvThreshold binds the scoreboard's
   /// skew-pass pick (KernelSelection::BestSkewCsrKernel) instead of the
   /// general CSR kernel. Null keeps the historical behavior.
+  /// \p ForceBasicCsr binds the untuned plan directly — the basic
+  /// (strategy-free) CSR SpMV and SpMM kernels with no conversion — used
+  /// when the never-slower guardrail decided tuning does not pay. It is a
+  /// deliberate decision, not a failure: Degradation stays None.
   template <typename T>
   static BindStageResult<T> run(const TuningContext<T> &Ctx,
                                 FormatKind Requested,
-                                const FeatureVector *Features = nullptr);
+                                const FeatureVector *Features = nullptr,
+                                bool ForceBasicCsr = false);
 };
 
 extern template FeatureStageResult
@@ -231,16 +275,16 @@ extern template PredictStageResult
 PredictStage::run(const TuningContext<double> &, FeatureStageResult &);
 extern template MeasureStageResult
 MeasureStage::run(const TuningContext<float> &, const FeatureStageResult &,
-                  FormatKind);
+                  FormatKind, const CostModelDecision *, double);
 extern template MeasureStageResult
 MeasureStage::run(const TuningContext<double> &, const FeatureStageResult &,
-                  FormatKind);
+                  FormatKind, const CostModelDecision *, double);
 extern template BindStageResult<float>
 BindStage::run(const TuningContext<float> &, FormatKind,
-               const FeatureVector *);
+               const FeatureVector *, bool);
 extern template BindStageResult<double>
 BindStage::run(const TuningContext<double> &, FormatKind,
-               const FeatureVector *);
+               const FeatureVector *, bool);
 
 } // namespace smat
 

@@ -78,9 +78,21 @@ ScoreboardResult smat::runScoreboard(const std::vector<KernelMeasurement> &Table
     Result.KernelScores[I] = Score;
   }
 
-  // Highest score wins; measured GFLOPS breaks ties.
+  // Highest score wins; measured GFLOPS breaks ties. An entry recorded at
+  // zero GFLOPS was never successfully measured (precondition violation,
+  // fault/watchdog abort, or an expired budget — a real measurement cannot
+  // produce exactly zero): it is unselectable no matter how well its
+  // strategy bits scored elsewhere, otherwise a partially measured table
+  // can crown a kernel that never ran. When nothing measured at all the
+  // basic entry stays selected — binding it is always safe.
   int Best = BasicIdx;
   for (std::size_t I = 0; I != Table.size(); ++I) {
+    if (Table[I].Gflops <= 0.0)
+      continue;
+    if (Table[static_cast<std::size_t>(Best)].Gflops <= 0.0) {
+      Best = static_cast<int>(I);
+      continue;
+    }
     int BestScore = Result.KernelScores[static_cast<std::size_t>(Best)];
     if (Result.KernelScores[I] > BestScore ||
         (Result.KernelScores[I] == BestScore &&

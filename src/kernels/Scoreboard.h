@@ -43,7 +43,10 @@ struct ScoreboardResult {
   std::array<bool, NumOptStrategies> Neglected{};
   /// Per-implementation score (sum of its strategies' scores).
   std::vector<int> KernelScores;
-  /// Index of the selected implementation in the measurement list.
+  /// Index of the selected implementation in the measurement list. Entries
+  /// recorded at zero GFLOPS (unmeasured: precondition violation, fault or
+  /// watchdog abort, expired budget) are never selected; when the whole
+  /// table is unmeasured this stays the basic entry.
   int BestIndex = 0;
 };
 

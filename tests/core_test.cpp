@@ -270,6 +270,40 @@ TEST(LearningModelTest, SpmmKernelLinesRoundTripAndStayOptional) {
   EXPECT_FALSE(parseModel(Bad, Rejected, Error));
 }
 
+TEST(LearningModelTest, CostModelLinesRoundTripAndStayOptional) {
+  // Calibrated analytic-classifier thresholds survive the round trip.
+  LearningModel Model = sharedTrainResult().Model;
+  Model.Cost.ImbalanceRowCv = 1.75;
+  Model.Cost.DiaFillMin = 0.25;
+  Model.Cost.EllFillMin = 0.9;
+  LearningModel Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseModel(serializeModel(Model), Parsed, Error)) << Error;
+  EXPECT_EQ(Parsed.Cost, Model.Cost);
+  EXPECT_EQ(Parsed.Rules.size(), Model.Rules.size());
+
+  // A pre-classifier model text has no costmodel lines and parses with the
+  // CostModelThresholds defaults — backward compatibility with committed
+  // bench_cache models.
+  std::string Legacy = serializeModel(Model);
+  for (std::size_t Pos;
+       (Pos = Legacy.find("costmodel ")) != std::string::npos;)
+    Legacy.erase(Pos, Legacy.find('\n', Pos) - Pos + 1);
+  EXPECT_EQ(Legacy.find("costmodel"), std::string::npos);
+  LearningModel Reparsed;
+  ASSERT_TRUE(parseModel(Legacy, Reparsed, Error)) << Error;
+  EXPECT_EQ(Reparsed.Cost, CostModelThresholds());
+  EXPECT_EQ(Reparsed.Rules.size(), Model.Rules.size());
+
+  // A costmodel line with an unknown key is malformed, not skipped.
+  std::string Bad = serializeModel(Model);
+  std::size_t RulesetPos = Bad.find(serializeRuleSet(Model.Rules));
+  ASSERT_NE(RulesetPos, std::string::npos);
+  Bad.insert(RulesetPos, "costmodel bogus_key 1.0\n");
+  LearningModel Rejected;
+  EXPECT_FALSE(parseModel(Bad, Rejected, Error));
+}
+
 TEST(LearningModelTest, FileRoundTripAndSmatFromFile) {
   const LearningModel &Model = sharedTrainResult().Model;
   std::string Path = testing::TempDir() + "/smat_model_test.txt";

@@ -613,6 +613,39 @@ TEST(ScoreboardTest, EmptyTable) {
   EXPECT_TRUE(R.KernelScores.empty());
 }
 
+TEST(ScoreboardTest, UnmeasuredKernelCannotWinOnStrategyScores) {
+  // Regression: an entry recorded at 0 GFLOPS (unmeasured — precondition
+  // violation, fault, or expired budget) used to be able to win the
+  // tie-break. Here "abc" inherits +1 votes from both measured strategies
+  // (its 2-bit reduced partners don't exist, so it contributes no negative
+  // votes of its own) and scores 2 — higher than any measured entry — while
+  // having never run. It must be unselectable.
+  std::vector<KernelMeasurement> Table = {
+      {"basic", OptNone, 1.0},
+      {"a", OptUnroll, 1.5},
+      {"b", OptSimd, 1.4},
+      {"abc", OptUnroll | OptSimd | OptPrefetch, 0.0},
+  };
+  ScoreboardResult R = runScoreboard(Table);
+  EXPECT_EQ(R.KernelScores[3], 2) << "the synthetic table must reproduce the "
+                                     "inflated score for the unmeasured entry";
+  EXPECT_EQ(R.BestIndex, 1) << "a (score 1, fastest measured) must win; the "
+                               "unmeasured abc must be skipped";
+}
+
+TEST(ScoreboardTest, WhollyUnmeasuredTableKeepsBasicSelected) {
+  // When nothing measured at all (e.g. the whole budget expired before the
+  // first kernel), the basic entry stays selected: binding it is always
+  // safe, whereas any other pick would crown a kernel that never ran.
+  std::vector<KernelMeasurement> Table = {
+      {"basic", OptNone, 0.0},
+      {"a", OptUnroll, 0.0},
+      {"b", OptSimd, 0.0},
+  };
+  ScoreboardResult R = runScoreboard(Table);
+  EXPECT_EQ(R.BestIndex, 0);
+}
+
 TEST(ScoreboardTest, MeasureKernelTableProducesFiniteNumbers) {
   CsrMatrix<double> A = randomCsr(200, 200, 0.05, 8);
   auto Table = measureKernelTable<double>(kernelTable<double>().Csr, A,
