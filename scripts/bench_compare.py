@@ -8,8 +8,12 @@ Records are matched on (matrix, role). For each pair the GFLOPS ratio
 current/baseline is computed; a drop beyond --max-regression (default 10%)
 fails the comparison. Unmatched pairs are printed in both directions:
 MISSING (in the baseline but not the current run) and NEW (the reverse).
-With --require-coverage, any MISSING pair fails the comparison even under
---report-only -- losing a case is a coverage bug, not measurement noise.
+With --require-coverage, any unmatched pair IN EITHER DIRECTION fails the
+comparison even under --report-only: a MISSING pair means the current run
+lost a case (a coverage bug, not measurement noise), and a NEW pair means
+the current run reports a (matrix, role) the baseline file has no row for
+-- the committed baseline is stale and must be regenerated, silently
+skipping it would let the new case drift ungated.
 The tuned role's tune_ms is checked separately: a blowup beyond
 --max-tune-blowup (default 3x) fails even under --report-only, because
 tune-time explosions are robustly detectable on noisy shared runners while
@@ -69,14 +73,23 @@ def main():
                     help="report GFLOPS regressions without failing on them "
                          "(shared-runner mode); tune-time blowups still fail")
     ap.add_argument("--require-coverage", action="store_true",
-                    help="fail when the current run is missing any "
-                         "(matrix, role) pair the baseline has, even under "
-                         "--report-only")
+                    help="fail when the baseline and current runs do not "
+                         "cover the same (matrix, role) pairs -- missing OR "
+                         "new -- even under --report-only")
     ap.add_argument("--require-tuned-geq-basic", action="store_true",
                     help="fail when any matrix in the CURRENT run has tuned "
                          "GFLOPS below (1 - max-regression) of its basic "
                          "GFLOPS (and spmm_tuned_k8 below basic_x8); "
-                         "within-run, so it fails even under --report-only")
+                         "within-run, so it fails even under --report-only. "
+                         "A tuned role whose basic counterpart row is absent "
+                         "(or vice versa) fails as a coverage error instead "
+                         "of being silently skipped")
+    ap.add_argument("--max-first-call-ms", type=float, default=None,
+                    help="fail when any time_to_first_call row in the "
+                         "CURRENT run took longer than this many "
+                         "milliseconds (the serve-from-call-1 guarantee of "
+                         "the async tuning service); within-run, so it "
+                         "fails even under --report-only")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -109,10 +122,14 @@ def main():
                 print(f"TUNEBLOW {key[0]}: tune {b['tune_ms']:.3f} -> "
                       f"{c['tune_ms']:.3f} ms ({tune_ratio:.2f}x)")
 
-    for key in sorted(set(cur) - set(base)):
-        print(f"NEW      {key[0]}/{key[1]}: not in baseline (ignored)")
+    new = sorted(set(cur) - set(base))
+    for key in new:
+        suffix = "" if args.require_coverage else " (ignored)"
+        print(f"NEW      {key[0]}/{key[1]}: current run reports it but the "
+              f"baseline has no such row{suffix}")
 
     never_slower_failures = []
+    coverage_errors = []
     if args.require_tuned_geq_basic:
         floor = 1.0 - args.max_regression
         pairs = [("basic", "tuned"), ("basic_x8", "spmm_tuned_k8")]
@@ -121,7 +138,19 @@ def main():
             for base_role, tuned_role in pairs:
                 b = cur.get((m, base_role))
                 t = cur.get((m, tuned_role))
-                if b is None or t is None or b["gflops"] <= 0:
+                if b is None and t is None:
+                    continue  # this matrix has neither role of the pair
+                if b is None or t is None:
+                    # Half a pair present: the never-slower guarantee cannot
+                    # be checked, which must fail loudly, not pass silently.
+                    have = tuned_role if b is None else base_role
+                    lack = base_role if b is None else tuned_role
+                    coverage_errors.append((m, lack))
+                    print(f"NOPAIR   {m}: has role {have!r} but not its "
+                          f"counterpart {lack!r}; cannot check the "
+                          f"never-slower guarantee")
+                    continue
+                if b["gflops"] <= 0:
                     continue
                 ratio = t["gflops"] / b["gflops"]
                 guard = t.get("guardrail")
@@ -136,9 +165,41 @@ def main():
                           f"{base_role} {b['gflops']:.3f} GFLOPS "
                           f"({ratio:.2%}){note}")
 
+    first_call_failures = []
+    if args.max_first_call_ms is not None:
+        rows = [(m, r) for (m, r) in sorted(cur) if r == "time_to_first_call"]
+        if not rows:
+            print("bench_compare: FAIL: --max-first-call-ms given but the "
+                  "current run has no time_to_first_call rows to gate")
+            return 1
+        for key in rows:
+            ms = cur[key]["tune_ms"]
+            status = "FIRSTCALL"
+            if ms > args.max_first_call_ms:
+                status = "SLOWSTART"
+                first_call_failures.append(key)
+            print(f"{status:8} {key[0]}: first servable call after "
+                  f"{ms:.3f} ms (limit {args.max_first_call_ms:.3f})")
+
     if missing and args.require_coverage:
         print(f"bench_compare: FAIL: {len(missing)} (matrix, role) pair(s) "
               f"in the baseline are missing from the current run")
+        return 1
+    if new and args.require_coverage:
+        print(f"bench_compare: FAIL: {len(new)} (matrix, role) pair(s) in "
+              f"the current run have no baseline row; regenerate the "
+              f"committed baseline to cover them")
+        return 1
+    if coverage_errors:
+        print(f"bench_compare: FAIL: {len(coverage_errors)} matrix/role "
+              f"pair(s) lack the counterpart row the never-slower check "
+              f"needs")
+        return 1
+    if first_call_failures:
+        print(f"bench_compare: FAIL: {len(first_call_failures)} "
+              f"time_to_first_call row(s) beyond "
+              f"{args.max_first_call_ms:.3f} ms (serve-from-call-1 "
+              f"guarantee violated)")
         return 1
     if tune_failures:
         print(f"bench_compare: FAIL: {len(tune_failures)} tune-time "

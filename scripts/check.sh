@@ -3,7 +3,7 @@
 #
 # Part of the SMAT reproduction project.
 #
-# Runs the tier-1 test suite across four build configurations:
+# Runs the tier-1 test suite across five build configurations:
 #
 #   build        default flags, full tier-1 suite
 #   build-asan   SMAT_SANITIZE=ON (ASan + UBSan), full tier-1 suite — the
@@ -15,6 +15,12 @@
 #   build-fault  SMAT_FAULT_INJECTION=ON, fault-labelled binaries only —
 #                the injection sweeps and degradation-ladder tests, which
 #                skip themselves in builds without the hooks
+#   build-tsan-fault
+#                SMAT_SANITIZE=thread + SMAT_FAULT_INJECTION=ON together,
+#                service-labelled binaries — the async tuning service's
+#                worker thread and atomic plan swaps race-checked WHILE the
+#                fault sites are armed, so the failure paths (worker death,
+#                snapshot corruption) run under TSan too
 #
 # Usage: scripts/check.sh [--fuzz-only]
 #   --fuzz-only   restrict the default and ASan passes to the fuzz-labelled
@@ -49,5 +55,7 @@ run_pass build "${TIER1_LABEL}"
 run_pass build-asan "${TIER1_LABEL}" -DSMAT_SANITIZE=ON
 OMP_NUM_THREADS=1 run_pass build-tsan stress -DSMAT_SANITIZE=thread
 run_pass build-fault fault -DSMAT_FAULT_INJECTION=ON
+OMP_NUM_THREADS=1 run_pass build-tsan-fault service \
+  -DSMAT_SANITIZE=thread -DSMAT_FAULT_INJECTION=ON
 
-echo "=== check.sh: all four passes green ==="
+echo "=== check.sh: all five passes green ==="

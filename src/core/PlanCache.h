@@ -21,6 +21,19 @@
 /// near-identically, so reusing the decision does not change what the model
 /// would have answered — only what it costs.
 ///
+/// Concurrency: the cache is sharded (DESIGN.md section 16). A fingerprint
+/// hashes to one shard, each with its own mutex, LRU list, and singleflight
+/// lease set, so a service whose worker threads tune unrelated structures
+/// do not serialize on one global lock. Tiny caches (capacity < 64) stay
+/// single-sharded so their LRU eviction order is exact and globally
+/// observable, which the unit tests rely on.
+///
+/// Persistence: `saveSnapshot` writes a versioned, checksummed snapshot
+/// atomically (temp file + rename) and `loadSnapshot` restores it, so a
+/// fleet warm-starts its plan cache across process restarts. A corrupt,
+/// truncated, or version-mismatched snapshot logs a warning and cold-starts
+/// — it never throws, never crashes, and never half-loads.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMAT_CORE_PLANCACHE_H
@@ -29,13 +42,17 @@
 #include "features/FeatureExtractor.h"
 #include "matrix/Format.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 namespace smat {
 
@@ -63,6 +80,12 @@ struct PlanFingerprint {
   /// under a pruned candidate race are never reused by a tune that raced the
   /// full candidate set (and vice versa).
   std::int16_t ClassBucket = 0;
+  /// Model-generation stamp (TuneOptions::ModelGeneration). Runtime layers
+  /// that hot-reload model files (TuningService) bump a generation counter
+  /// on every reload; plans tuned under an older model then stop matching
+  /// and age out by LRU instead of being served stale. 0 for callers that
+  /// never reload.
+  std::int32_t ModelGeneration = 0;
 
   friend bool operator==(const PlanFingerprint &,
                          const PlanFingerprint &) = default;
@@ -101,6 +124,11 @@ struct PlanCacheStats {
   /// lookupOrLead calls that blocked behind another thread's in-flight tune
   /// of the same fingerprint instead of measuring themselves.
   std::uint64_t SingleflightWaits = 0;
+  /// Persistence counters: successful snapshot saves and loads, and loads
+  /// that found a corrupt/mismatched snapshot and cold-started instead.
+  std::uint64_t SnapshotSaves = 0;
+  std::uint64_t SnapshotLoads = 0;
+  std::uint64_t SnapshotLoadFailures = 0;
 };
 
 /// Outcome of PlanCache::lookupOrLead (the singleflight probe).
@@ -118,11 +146,27 @@ struct PlanProbe {
   CachedPlan Plan;
 };
 
-/// A bounded, thread-safe LRU cache of tuning plans keyed by structural
-/// fingerprint. Share one instance across every matrix a process tunes (or
-/// across an AMG hierarchy's levels) to amortize tuning cost.
+/// Outcome of PlanCache::loadSnapshot.
+enum class SnapshotLoadResult {
+  /// The snapshot parsed, its checksum verified, and every entry was
+  /// inserted.
+  Loaded,
+  /// No snapshot file exists at the path (a normal cold boot; not logged).
+  Missing,
+  /// The file exists but is corrupt, truncated, or version-mismatched: a
+  /// warning was logged, the cache was left untouched, and the caller
+  /// cold-starts.
+  Corrupt,
+};
+
+/// A bounded, thread-safe, sharded LRU cache of tuning plans keyed by
+/// structural fingerprint. Share one instance across every matrix a process
+/// tunes (or across an AMG hierarchy's levels) to amortize tuning cost.
 class PlanCache {
 public:
+  /// Snapshot-file format version tag (first line of every snapshot).
+  static constexpr const char *SnapshotVersion = "smat-plancache-v1";
+
   explicit PlanCache(std::size_t Capacity = 1024);
 
   /// Looks up \p Fp; on a hit copies the plan into \p Plan, refreshes its
@@ -147,7 +191,7 @@ public:
   void abandon(const PlanFingerprint &Fp);
 
   /// Inserts or overwrites the plan for \p Fp, evicting the least recently
-  /// used entry when at capacity.
+  /// used entry of its shard when at capacity.
   void insert(const PlanFingerprint &Fp, const CachedPlan &Plan);
 
   /// Drops every entry (counters are preserved; they are monotonic).
@@ -155,28 +199,70 @@ public:
   /// them and will publish or abandon as usual.
   void clear();
 
+  /// Writes a versioned, checksummed snapshot of every cached plan to
+  /// \p Path, atomically: the payload goes to a temp file in the same
+  /// directory which is then renamed over \p Path, so a crash mid-write
+  /// leaves either the old snapshot or none — never a torn one. Thread-safe
+  /// against concurrent cache use (shards are walked one at a time).
+  /// \returns false with the reason in \p Error (when non-null) on I/O
+  /// failure; the cache itself is unaffected either way.
+  bool saveSnapshot(const std::string &Path, std::string *Error = nullptr) const;
+
+  /// Restores a snapshot written by saveSnapshot, inserting every entry
+  /// (existing entries with the same fingerprint are overwritten; LRU
+  /// eviction applies as usual). The file is fully parsed and its checksum
+  /// verified BEFORE anything is inserted: a corrupt, truncated, or
+  /// version-mismatched snapshot logs one warning to stderr, leaves the
+  /// cache exactly as it was, and returns Corrupt — the process cold-starts
+  /// instead of crashing or loading poisoned plans. A missing file returns
+  /// Missing silently (first boot is not an error).
+  SnapshotLoadResult loadSnapshot(const std::string &Path,
+                                  std::size_t *LoadedCount = nullptr,
+                                  std::string *Warning = nullptr);
+
   PlanCacheStats stats() const;
   std::size_t size() const;
   std::size_t capacity() const { return Capacity; }
+  /// Number of lock shards (1 for tiny caches, where exact global LRU
+  /// order matters more than lock spread).
+  std::size_t shards() const { return Shards.size(); }
 
 private:
   using Entry = std::pair<PlanFingerprint, CachedPlan>;
 
-  /// insert() with Mutex already held.
-  void insertLocked(const PlanFingerprint &Fp, const CachedPlan &Plan);
+  /// One lock domain: a slice of the capacity with its own LRU order and
+  /// singleflight lease set. A fingerprint always hashes to the same shard,
+  /// so per-fingerprint semantics (singleflight, LRU refresh, eviction
+  /// pressure) are unchanged from the unsharded cache.
+  struct Shard {
+    mutable std::mutex Mutex;
+    std::size_t Capacity = 1;
+    /// Most recently used at the front.
+    std::list<Entry> Lru;
+    std::unordered_map<PlanFingerprint, std::list<Entry>::iterator,
+                       PlanFingerprintHash>
+        Index;
+    /// Fingerprints whose tune is in flight under a singleflight lease.
+    std::unordered_set<PlanFingerprint, PlanFingerprintHash> InFlight;
+    /// Signalled on publish()/abandon() so lookupOrLead waiters re-probe.
+    std::condition_variable InFlightCv;
+    PlanCacheStats Counters;
+  };
 
-  mutable std::mutex Mutex;
+  Shard &shardFor(const PlanFingerprint &Fp);
+  const Shard &shardFor(const PlanFingerprint &Fp) const;
+
+  /// insert() with the shard mutex already held.
+  static void insertLocked(Shard &S, const PlanFingerprint &Fp,
+                           const CachedPlan &Plan);
+
   std::size_t Capacity;
-  /// Most recently used at the front.
-  std::list<Entry> Lru;
-  std::unordered_map<PlanFingerprint, std::list<Entry>::iterator,
-                     PlanFingerprintHash>
-      Index;
-  /// Fingerprints whose tune is in flight under a singleflight lease.
-  std::unordered_set<PlanFingerprint, PlanFingerprintHash> InFlight;
-  /// Signalled on publish()/abandon() so lookupOrLead waiters re-probe.
-  std::condition_variable InFlightCv;
-  PlanCacheStats Counters;
+  /// unique_ptr because Shard holds a mutex and must not move.
+  std::vector<std::unique_ptr<Shard>> Shards;
+  /// Cache-global persistence counters (snapshots span every shard).
+  mutable std::atomic<std::uint64_t> SnapshotSaves{0};
+  mutable std::atomic<std::uint64_t> SnapshotLoads{0};
+  mutable std::atomic<std::uint64_t> SnapshotLoadFailures{0};
 };
 
 } // namespace smat

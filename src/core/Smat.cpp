@@ -51,6 +51,11 @@ Status Smat<T>::validateTuneInput(const CsrMatrix<T> &A,
                                   const TuneOptions &Opts) {
   if (Status S = validateCsr(A); !S.ok())
     return S;
+  return validateTuneOptions(Opts);
+}
+
+template <typename T>
+Status Smat<T>::validateTuneOptions(const TuneOptions &Opts) {
   if (!(Opts.MeasureMinSeconds >= 0.0) ||
       !std::isfinite(Opts.MeasureMinSeconds))
     return Status::error(
@@ -212,6 +217,9 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
         HaveCost ? static_cast<std::int16_t>(
                        1 + static_cast<int>(CostDecision.Class))
                  : std::int16_t(0);
+    // Hot-reload invalidation: plans tuned under an older model generation
+    // stop matching once the service bumps the counter (PlanCache.h).
+    Fp.ModelGeneration = static_cast<std::int32_t>(Opts.ModelGeneration);
     if (!Opts.ForceMeasure) {
       PlanProbe Probe = Cache->lookupOrLead(Fp);
       if (Probe.Hit) {
@@ -488,23 +496,33 @@ TunedSpmv<T> Smat<T>::tuneImpl(const CsrMatrix<T> &A, const TuneOptions &Opts,
   Report.BaselineSeconds = BaselineSeconds;
   Report.TuneSeconds = TuneTimer.seconds() - BaselineSeconds;
 
-  ResilienceState &RS = *Resilience;
-  RS.Tunes.fetch_add(1, std::memory_order_relaxed);
-  RS.CandidatesDropped.fetch_add(
-      static_cast<std::uint64_t>(Report.DroppedCandidates),
-      std::memory_order_relaxed);
-  if (Report.NoisyTimings)
-    RS.NoisyTunes.fetch_add(1, std::memory_order_relaxed);
-  if (Report.BudgetExhausted)
-    RS.BudgetExhaustedTunes.fetch_add(1, std::memory_order_relaxed);
-  if (Report.Degradation == DegradationLevel::BasicKernel)
-    RS.BasicKernelFallbacks.fetch_add(1, std::memory_order_relaxed);
-  if (Report.Degradation == DegradationLevel::ReferenceCsr)
-    RS.ReferenceFallbacks.fetch_add(1, std::memory_order_relaxed);
-  if (Report.PlanShared)
-    RS.PlanShares.fetch_add(1, std::memory_order_relaxed);
-  if (Report.GuardrailEngaged)
-    RS.GuardrailEngagements.fetch_add(1, std::memory_order_relaxed);
+  // Publish this tune's whole counter delta as one seqlock write section,
+  // so a concurrent resilienceCounters() reader (e.g. a monitoring thread
+  // sampling while the async service's worker is mid-tune) never observes a
+  // torn snapshot where only half the delta has landed — every snapshot
+  // satisfies the invariants (each flag counter <= Tunes).
+  {
+    ResilienceState &RS = *Resilience;
+    std::lock_guard<std::mutex> WriteLock(RS.WriteLock);
+    RS.Seq.fetch_add(1, std::memory_order_release); // now odd: write open
+    RS.Tunes.fetch_add(1, std::memory_order_relaxed);
+    RS.CandidatesDropped.fetch_add(
+        static_cast<std::uint64_t>(Report.DroppedCandidates),
+        std::memory_order_relaxed);
+    if (Report.NoisyTimings)
+      RS.NoisyTunes.fetch_add(1, std::memory_order_relaxed);
+    if (Report.BudgetExhausted)
+      RS.BudgetExhaustedTunes.fetch_add(1, std::memory_order_relaxed);
+    if (Report.Degradation == DegradationLevel::BasicKernel)
+      RS.BasicKernelFallbacks.fetch_add(1, std::memory_order_relaxed);
+    if (Report.Degradation == DegradationLevel::ReferenceCsr)
+      RS.ReferenceFallbacks.fetch_add(1, std::memory_order_relaxed);
+    if (Report.PlanShared)
+      RS.PlanShares.fetch_add(1, std::memory_order_relaxed);
+    if (Report.GuardrailEngaged)
+      RS.GuardrailEngagements.fetch_add(1, std::memory_order_relaxed);
+    RS.Seq.fetch_add(1, std::memory_order_release); // even again: closed
+  }
   return Op;
 }
 
@@ -512,19 +530,31 @@ template <typename T>
 SmatResilienceCounters Smat<T>::resilienceCounters() const {
   const ResilienceState &RS = *Resilience;
   SmatResilienceCounters Out;
-  Out.Tunes = RS.Tunes.load(std::memory_order_relaxed);
-  Out.CandidatesDropped = RS.CandidatesDropped.load(std::memory_order_relaxed);
-  Out.NoisyTunes = RS.NoisyTunes.load(std::memory_order_relaxed);
-  Out.BudgetExhaustedTunes =
-      RS.BudgetExhaustedTunes.load(std::memory_order_relaxed);
-  Out.BasicKernelFallbacks =
-      RS.BasicKernelFallbacks.load(std::memory_order_relaxed);
-  Out.ReferenceFallbacks =
-      RS.ReferenceFallbacks.load(std::memory_order_relaxed);
-  Out.PlanShares = RS.PlanShares.load(std::memory_order_relaxed);
-  Out.GuardrailEngagements =
-      RS.GuardrailEngagements.load(std::memory_order_relaxed);
-  return Out;
+  // Seqlock read: retry whenever the snapshot straddled a write section
+  // (sequence odd, or changed across the reads). Loads are acquire-paired
+  // with the writer's release increments; the counter fields themselves are
+  // atomic, so the optimistic reads are data-race-free.
+  for (;;) {
+    std::uint64_t Before = RS.Seq.load(std::memory_order_acquire);
+    if (Before & 1)
+      continue; // a write is open right now
+    Out.Tunes = RS.Tunes.load(std::memory_order_relaxed);
+    Out.CandidatesDropped =
+        RS.CandidatesDropped.load(std::memory_order_relaxed);
+    Out.NoisyTunes = RS.NoisyTunes.load(std::memory_order_relaxed);
+    Out.BudgetExhaustedTunes =
+        RS.BudgetExhaustedTunes.load(std::memory_order_relaxed);
+    Out.BasicKernelFallbacks =
+        RS.BasicKernelFallbacks.load(std::memory_order_relaxed);
+    Out.ReferenceFallbacks =
+        RS.ReferenceFallbacks.load(std::memory_order_relaxed);
+    Out.PlanShares = RS.PlanShares.load(std::memory_order_relaxed);
+    Out.GuardrailEngagements =
+        RS.GuardrailEngagements.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (RS.Seq.load(std::memory_order_relaxed) == Before)
+      return Out;
+  }
 }
 
 TunedSpmv<double> smat::SMAT_dCSR_SpMV(const Smat<double> &Tuner,

@@ -48,6 +48,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -213,6 +214,14 @@ public:
   /// which must then outlive this object.
   bool ownsStorage() const { return Op && Op->ownsStorage(); }
 
+  /// Releases ownership of the bound operator, leaving this TunedSpmv in
+  /// the moved-from state (apply() asserts). Used by runtime layers that
+  /// re-publish the operator under their own lifetime discipline — the
+  /// async TuningService swaps it into a handle's atomic plan slot.
+  std::unique_ptr<FormatOperator<T>> takeOperator() {
+    return std::move(Op);
+  }
+
   index_t numRows() const { return NumRows; }
   index_t numCols() const { return NumCols; }
   std::int64_t nnz() const { return Nnz; }
@@ -289,6 +298,13 @@ public:
   /// a concurrent tune's singleflight publication. Thread-safe.
   SmatResilienceCounters resilienceCounters() const;
 
+  /// Validates the option struct alone (budgets, batch width, flag
+  /// combinations) without a matrix. Public so layers that defer the tune —
+  /// the async TuningService validates options at submit time, before the
+  /// worker ever sees the job — can reject bad options synchronously with
+  /// the same diagnostics tune() would produce.
+  static Status validateTuneOptions(const TuneOptions &Opts);
+
 private:
   /// Validation shared by every public entry point (matrix and options).
   static Status validateTuneInput(const CsrMatrix<T> &A,
@@ -298,8 +314,16 @@ private:
                         CsrMatrix<T> *MoveSource) const;
 
   /// Atomic counter block behind a pointer so the tuner stays movable (and
-  /// tuneImpl, which is const, can count).
+  /// tuneImpl, which is const, can count). Writers publish a tune's whole
+  /// counter delta inside a seqlock write section (WriteLock + odd/even
+  /// Seq), and resilienceCounters() retries its read until it straddles no
+  /// write — so a snapshot taken while a background worker is mid-update
+  /// never shows a torn state (e.g. GuardrailEngagements > Tunes). The
+  /// fields stay individually atomic so the seqlock's racing reads are
+  /// data-race-free under TSan.
   struct ResilienceState {
+    std::mutex WriteLock;
+    std::atomic<std::uint64_t> Seq{0};
     std::atomic<std::uint64_t> Tunes{0};
     std::atomic<std::uint64_t> CandidatesDropped{0};
     std::atomic<std::uint64_t> NoisyTunes{0};

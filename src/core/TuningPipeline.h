@@ -34,6 +34,7 @@
 #include "features/FeatureExtractor.h"
 #include "support/Timer.h"
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -118,6 +119,12 @@ struct TuneOptions {
   /// can address it, instead of the full menu. Ignored under ForceMeasure
   /// (ground-truth sweeps must stay exhaustive).
   bool CostModelPrune = true;
+  /// Generation stamp of the learned model that produced this tune, mixed
+  /// into the plan-cache fingerprint. Layers that hot-reload model files at
+  /// runtime (TuningService) bump this on every reload so plans cached
+  /// under the previous model stop matching and age out by LRU instead of
+  /// being served stale. Callers that never reload leave it at 0.
+  std::uint32_t ModelGeneration = 0;
 };
 
 /// Everything the stages read; one per tune() call.

@@ -1,0 +1,35 @@
+//===- support/Checksum.h - Content checksums for snapshots -----*- C++ -*-===//
+//
+// Part of the SMAT reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a content hashing for crash-safe snapshot files (PlanCache
+/// persistence). Not cryptographic: the goal is detecting truncation, bit
+/// rot, and partial writes, so a corrupt snapshot cold-starts instead of
+/// poisoning the plan cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMAT_SUPPORT_CHECKSUM_H
+#define SMAT_SUPPORT_CHECKSUM_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace smat {
+
+/// 64-bit FNV-1a over \p Bytes.
+inline std::uint64_t fnv1a64(std::string_view Bytes) {
+  std::uint64_t Hash = 1469598103934665603ull;
+  for (char C : Bytes) {
+    Hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(C));
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+} // namespace smat
+
+#endif // SMAT_SUPPORT_CHECKSUM_H
